@@ -1,0 +1,61 @@
+// Ablation: ng-approximate vs exact search (Definition 7 of the paper).
+// The approximate answer visits one leaf; this bench measures how close it
+// gets (distance ratio to the true NN) and how much work it saves, per
+// method and per query difficulty — the trade-off behind the paper's
+// future-work plan to evaluate approximate methods.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/distance.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation", "ng-approximate search vs exact (one-leaf descent)",
+         "Approximate answers are near-optimal on easy queries and degrade "
+         "on hard ones, at a small fraction of the exact cost");
+
+  const size_t count = 20000;
+  const size_t length = 256;
+  const auto data = gen::RandomWalkDataset(count, length, 127);
+
+  util::Table table({"method", "difficulty", "mean_dist_ratio",
+                     "exact_examined", "approx_examined"});
+  for (const std::string name : {"ADS+", "DSTree", "iSAX2+", "SFA"}) {
+    for (const bool easy : {true, false}) {
+      const auto workload =
+          easy ? gen::CtrlWorkload(data, 20, 128, 0.02, 0.1)
+               : gen::CtrlWorkload(data, 20, 128, 0.8, 1.0);
+      auto method = CreateMethod(name, DefaultLeaf(count));
+      method->Build(data);
+      double ratio_sum = 0.0;
+      int64_t exact_examined = 0;
+      int64_t approx_examined = 0;
+      for (size_t q = 0; q < workload.queries.size(); ++q) {
+        auto exact = method->SearchKnn(workload.queries[q], 1);
+        auto approx = method->SearchKnnApproximate(workload.queries[q], 1);
+        exact_examined += exact.stats.raw_series_examined;
+        approx_examined += approx.stats.raw_series_examined;
+        const double d_exact = std::sqrt(exact.neighbors[0].dist_sq);
+        const double d_approx = std::sqrt(approx.neighbors[0].dist_sq);
+        ratio_sum += d_exact <= 1e-9 ? 1.0 : d_approx / d_exact;
+      }
+      const double n = static_cast<double>(workload.queries.size());
+      table.AddRow({name, easy ? "easy" : "hard",
+                    util::Table::Num(ratio_sum / n, 3),
+                    util::Table::Int(exact_examined),
+                    util::Table::Int(approx_examined)});
+    }
+  }
+  table.Print("approximate quality and cost (20K random walks)");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: FFT vs naive O(n^2) DFT — why the framework computes DFT
+// summaries (SFA, VA+file, MASS) with the FFT, and the Bluestein overhead
+// for non-power-of-two lengths (Deep1B's 96).
+#include <complex>
+
+#include <benchmark/benchmark.h>
+
+#include "transform/dft.h"
+#include "transform/fft.h"
+#include "util/rng.h"
+
+namespace hydra {
+namespace {
+
+std::vector<std::complex<double>> RandomComplex(size_t n) {
+  util::Rng rng(n);
+  std::vector<std::complex<double>> a(n);
+  for (auto& v : a) v = {rng.Gaussian(), rng.Gaussian()};
+  return a;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto input = RandomComplex(n);
+  for (auto _ : state) {
+    auto a = input;
+    transform::Fft(&a, false);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(96)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NaiveDft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto input = RandomComplex(n);
+  for (auto _ : state) {
+    std::vector<std::complex<double>> out(n);
+    for (size_t k = 0; k < n; ++k) {
+      std::complex<double> acc(0.0, 0.0);
+      for (size_t j = 0; j < n; ++j) {
+        const double angle =
+            -2.0 * M_PI * static_cast<double>(j * k) / static_cast<double>(n);
+        acc += input[j] * std::complex<double>(std::cos(angle),
+                                               std::sin(angle));
+      }
+      out[k] = acc;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_NaiveDft)->Arg(96)->Arg(128)->Arg(256);
+
+void BM_PackedRealDftSummary(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(n);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    auto packed = transform::PackedRealDft(x, 16, true);
+    benchmark::DoNotOptimize(packed.data());
+  }
+}
+BENCHMARK(BM_PackedRealDftSummary)->Arg(96)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace hydra
+
+BENCHMARK_MAIN();

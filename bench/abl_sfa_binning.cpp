@@ -1,0 +1,55 @@
+// Ablation: SFA parametrization — equi-depth vs equi-width binning and the
+// alphabet size. The paper tunes these (Section 4.3.1) and lands on
+// equi-depth with alphabet 8; larger alphabets tighten the word bound but
+// blow up the trie fanout.
+#include <vector>
+
+#include "bench_common.h"
+#include "index/sfatrie.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation", "SFA binning method and alphabet size",
+         "Equi-depth beats equi-width; small alphabets keep the trie "
+         "compact but loosen pruning");
+
+  const size_t count = 20000;
+  const size_t length = 256;
+  const auto data = gen::RandomWalkDataset(count, length, 107);
+  const auto workload = gen::RandWorkload(20, length, 108);
+  const auto hdd = io::DiskModel::ScaledHdd();
+
+  util::Table table({"binning", "alphabet", "idx_s", "query_s",
+                     "prune_mean", "leaves"});
+  for (const auto binning : {transform::SfaQuantizer::Binning::kEquiDepth,
+                             transform::SfaQuantizer::Binning::kEquiWidth}) {
+    for (const int alphabet : {4, 8, 64, 256}) {
+      index::SfaTrieOptions options;
+      options.alphabet = alphabet;
+      options.binning = binning;
+      options.leaf_capacity = SfaLeaf(count);
+      index::SfaTrie method(options);
+      const MethodRun run = RunMethod(&method, data, workload);
+      table.AddRow(
+          {binning == transform::SfaQuantizer::Binning::kEquiDepth
+               ? "equi-depth"
+               : "equi-width",
+           util::Table::Int(alphabet),
+           util::Table::Num(IndexSeconds(run, hdd), 3),
+           util::Table::Num(ExactWorkloadSeconds(run, hdd), 3),
+           util::Table::Num(MeanPruningRatio(run, data.size()), 3),
+           util::Table::Int(method.footprint().leaf_nodes)});
+    }
+  }
+  table.Print("SFA trie parametrization (20K random walks, len 256)");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: what the "+" in VA+file buys — non-uniform bit allocation and
+// k-means cells vs the plain VA-file's uniform equi-depth quantization,
+// across bit budgets.
+#include <vector>
+
+#include "bench_common.h"
+#include "index/vafile.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation", "VA+file bit allocation and cell placement",
+         "Non-uniform allocation + k-means cells prune better than the "
+         "uniform/equi-depth VA-file at every bit budget");
+
+  const size_t count = 20000;
+  const size_t length = 256;
+  const auto data = gen::RandomWalkDataset(count, length, 117);
+  const auto workload = gen::RandWorkload(20, length, 118);
+  const auto ssd = io::DiskModel::Ssd();
+
+  util::Table table({"allocation", "cells", "total_bits", "prune_mean",
+                     "query_s"});
+  for (const auto allocation :
+       {transform::VaPlusQuantizer::Allocation::kNonUniform,
+        transform::VaPlusQuantizer::Allocation::kUniform}) {
+    for (const auto placement :
+         {transform::VaPlusQuantizer::CellPlacement::kKmeans,
+          transform::VaPlusQuantizer::CellPlacement::kEquiDepth}) {
+      for (const int bits : {32, 64, 128}) {
+        index::VaFileOptions options;
+        options.total_bits = bits;
+        options.allocation = allocation;
+        options.placement = placement;
+        index::VaFile method(options);
+        const MethodRun run = RunMethod(&method, data, workload);
+        table.AddRow(
+            {allocation ==
+                     transform::VaPlusQuantizer::Allocation::kNonUniform
+                 ? "non-uniform"
+                 : "uniform",
+             placement == transform::VaPlusQuantizer::CellPlacement::kKmeans
+                 ? "k-means"
+                 : "equi-depth",
+             util::Table::Int(bits),
+             util::Table::Num(MeanPruningRatio(run, data.size()), 4),
+             util::Table::Num(ExactWorkloadSeconds(run, ssd), 3)});
+      }
+    }
+  }
+  table.Print("VA-file vs VA+file quantization (20K random walks, SSD)");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

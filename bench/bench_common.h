@@ -1,0 +1,44 @@
+// Shared configuration for the figure/table bench binaries. The paper's
+// datasets are 25GB-1TB; these benches run laptop-scale datasets through
+// the instrumented I/O ledger and report modeled HDD/SSD times alongside
+// measured CPU (see DESIGN.md, "Substitutions").
+#ifndef HYDRA_BENCH_BENCH_COMMON_H_
+#define HYDRA_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "gen/random_walk.h"
+#include "gen/realistic.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+#include "util/table.h"
+
+namespace hydra::bench {
+
+/// Leaf threshold heuristic mirroring the paper's tuned ratios (leaf size
+/// grows with the collection; SFA's optimal leaf is ~10x the others').
+inline size_t DefaultLeaf(size_t count) {
+  return std::clamp<size_t>(count / 64, 64, 1024);
+}
+inline size_t SfaLeaf(size_t count) { return DefaultLeaf(count) * 16; }
+
+inline size_t LeafFor(const std::string& method, size_t count) {
+  return method == "SFA" ? SfaLeaf(count) : DefaultLeaf(count);
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* exhibit, const char* what,
+                   const char* paper_expectation) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", exhibit, what);
+  std::printf("Paper expectation: %s\n", paper_expectation);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace hydra::bench
+
+#endif  // HYDRA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Shared implementation of the Figure 6/7 scalability comparison (the same
+// experiment on the HDD and SSD models).
+#ifndef HYDRA_BENCH_COMPARISON_COMMON_H_
+#define HYDRA_BENCH_COMPARISON_COMMON_H_
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace hydra::bench {
+
+inline void ScalabilityComparison(const io::DiskModel& disk,
+                                  const char* exhibit,
+                                  const char* expectation) {
+  Banner(exhibit, "Scalability comparison of the best six methods",
+         expectation);
+  const size_t length = 256;
+  const std::vector<size_t> sizes = {5000, 10000, 20000, 40000, 80000};
+  const size_t queries = 15;
+
+  struct Cell {
+    double idx = 0.0;
+    double exact100 = 0.0;
+    double ten_k = 0.0;
+  };
+  std::map<std::pair<std::string, size_t>, Cell> cells;
+
+  util::Table table({"method", "series", "idx_s", "exact100_s",
+                     "idx+exact100_s", "idx+10K_s"});
+  for (const std::string& name : BestSixNames()) {
+    for (const size_t count : sizes) {
+      const auto data = gen::RandomWalkDataset(count, length, 37);
+      const auto workload = gen::RandWorkload(queries, length, 38);
+      auto method = CreateMethod(name, LeafFor(name, count));
+      const MethodRun run = RunMethod(method.get(), data, workload);
+      Cell cell;
+      cell.idx = IndexSeconds(run, disk);
+      cell.exact100 = Exact100Seconds(run, disk);
+      cell.ten_k = Extrapolated10KSeconds(run, disk);
+      cells[{name, count}] = cell;
+      table.AddRow({name, util::Table::Int(static_cast<long long>(count)),
+                    util::Table::Num(cell.idx, 3),
+                    util::Table::Num(cell.exact100, 3),
+                    util::Table::Num(cell.idx + cell.exact100, 3),
+                    util::Table::Num(cell.idx + cell.ten_k, 1)});
+    }
+  }
+  table.Print(std::string(exhibit) + ": scenarios on the " + disk.name +
+              " model (len=256)");
+
+  util::Table winners({"series", "Idx", "Exact100", "Idx+Exact100",
+                       "Idx+10K"});
+  for (const size_t count : sizes) {
+    std::string best[4];
+    double best_v[4] = {1e300, 1e300, 1e300, 1e300};
+    for (const std::string& name : BestSixNames()) {
+      const Cell& c = cells[{name, count}];
+      const double v[4] = {c.idx, c.exact100, c.idx + c.exact100,
+                           c.idx + c.ten_k};
+      for (int i = 0; i < 4; ++i) {
+        // The Idx scenario compares index construction; the sequential
+        // scan builds nothing and is excluded (as in the paper's Table 2).
+        if (i == 0 && name == "UCR-Suite") continue;
+        if (v[i] < best_v[i]) {
+          best_v[i] = v[i];
+          best[i] = name;
+        }
+      }
+    }
+    winners.AddRow({util::Table::Int(static_cast<long long>(count)), best[0],
+                    best[1], best[2], best[3]});
+  }
+  winners.Print(std::string(exhibit) + ": winner per scenario (" +
+                disk.name + ")");
+}
+
+}  // namespace hydra::bench
+
+#endif  // HYDRA_BENCH_COMPARISON_COMMON_H_

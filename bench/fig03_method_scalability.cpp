@@ -1,0 +1,71 @@
+// Figure 3: per-method scalability with increasing dataset sizes. For each
+// of the ten methods, report indexing and query time (CPU vs modeled HDD
+// I/O) across dataset sizes. Like the paper, the methods that could not
+// finish the large configurations (M-tree, R*-tree) are run on the small
+// sizes and extrapolated (marked with '*').
+#include <vector>
+
+#include "bench_common.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 3", "Scalability with increasing dataset sizes",
+         "ADS+/VA+file build fast; DSTree builds slowly (CPU) but queries "
+         "fast; MASS/Stepwise/M-tree/R*-tree are not competitive and are "
+         "dropped from later comparisons");
+
+  const size_t length = 256;
+  const std::vector<size_t> sizes = {5000, 10000, 20000, 40000};
+  const auto hdd = io::DiskModel::ScaledHdd();
+  const size_t queries = 10;
+
+  for (const std::string& name : AllMethodNames()) {
+    const bool slow = name == "M-tree" || name == "R*-tree" ||
+                      name == "MASS" || name == "Stepwise";
+    util::Table table({"series", "idx_cpu_s", "idx_io_s", "q_cpu_s",
+                       "q_io_s", "total_s", "note"});
+    double last_total = 0.0;
+    double last_count = 0.0;
+    for (const size_t count : sizes) {
+      if (slow && count > 10000) {
+        // Extrapolate linearly from the last measured size (optimistic,
+        // exactly like the paper's M-tree treatment).
+        const double scale = static_cast<double>(count) / last_count;
+        table.AddRow({util::Table::Int(static_cast<long long>(count)), "-",
+                      "-", "-", "-",
+                      util::Table::Num(last_total * scale, 3),
+                      "*extrapolated"});
+        continue;
+      }
+      const auto data = gen::RandomWalkDataset(count, length, 7);
+      const auto workload = gen::RandWorkload(queries, length, 8);
+      auto method = CreateMethod(name, LeafFor(name, count));
+      const MethodRun run = RunMethod(method.get(), data, workload);
+      const double idx_io = hdd.BuildIoSeconds(run.build);
+      double q_cpu = 0.0;
+      double q_io = 0.0;
+      for (const auto& q : run.queries) {
+        q_cpu += q.cpu_seconds;
+        q_io += hdd.QueryIoSeconds(q);
+      }
+      last_total = run.build.cpu_seconds + idx_io + q_cpu + q_io;
+      last_count = static_cast<double>(count);
+      table.AddRow({util::Table::Int(static_cast<long long>(count)),
+                    util::Table::Num(run.build.cpu_seconds, 3),
+                    util::Table::Num(idx_io, 3), util::Table::Num(q_cpu, 3),
+                    util::Table::Num(q_io, 3),
+                    util::Table::Num(last_total, 3), ""});
+    }
+    table.Print("Fig 3 (" + name + "), len=256, 10 queries, HDD model");
+  }
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 4: number of sequential and random disk accesses over the query
+// workload, (a,c) for increasing dataset sizes at length 256 and (b,d) for
+// increasing lengths at a fixed collection volume.
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace hydra::bench {
+namespace {
+
+void AccessTable(const std::vector<std::string>& methods, bool vary_size) {
+  const size_t queries = 15;
+  const std::vector<size_t> sizes = {10000, 20000, 40000};
+  const std::vector<size_t> lengths = {128, 256, 512, 1024};
+  const size_t fixed_volume = 40000 * 256;  // floats, like the paper's 100GB
+
+  util::Table seq_table({"method", vary_size ? "series" : "length",
+                         "seq_min", "seq_median", "seq_max"});
+  util::Table rnd_table({"method", vary_size ? "series" : "length",
+                         "rnd_min", "rnd_median", "rnd_max"});
+  for (const std::string& name : methods) {
+    for (const size_t x : vary_size ? sizes : lengths) {
+      const size_t count = vary_size ? x : fixed_volume / x;
+      const size_t length = vary_size ? 256 : x;
+      const auto data = gen::RandomWalkDataset(count, length, 17);
+      const auto workload = gen::RandWorkload(queries, length, 18);
+      auto method = CreateMethod(name, LeafFor(name, count));
+      const MethodRun run = RunMethod(method.get(), data, workload);
+      std::vector<double> seq;
+      std::vector<double> rnd;
+      for (const auto& q : run.queries) {
+        seq.push_back(static_cast<double>(q.sequential_reads));
+        rnd.push_back(static_cast<double>(q.random_seeks));
+      }
+      const auto s = util::Summarize(seq);
+      const auto r = util::Summarize(rnd);
+      seq_table.AddRow({name, util::Table::Int(static_cast<long long>(x)),
+                        util::Table::Int(static_cast<long long>(s.min)),
+                        util::Table::Int(static_cast<long long>(s.median)),
+                        util::Table::Int(static_cast<long long>(s.max))});
+      rnd_table.AddRow({name, util::Table::Int(static_cast<long long>(x)),
+                        util::Table::Int(static_cast<long long>(r.min)),
+                        util::Table::Int(static_cast<long long>(r.median)),
+                        util::Table::Int(static_cast<long long>(r.max))});
+    }
+  }
+  seq_table.Print(vary_size ? "Fig 4a: sequential accesses vs dataset size"
+                            : "Fig 4b: sequential accesses vs series length");
+  rnd_table.Print(vary_size ? "Fig 4c: random accesses vs dataset size"
+                            : "Fig 4d: random accesses vs series length");
+}
+
+void Run() {
+  Banner("Figure 4", "Sequential and random disk accesses",
+         "VA+file: virtually no sequential reads; UCR-Suite: most "
+         "sequential reads, flat across queries; ADS+: most random "
+         "accesses (skips), dropping sharply with series length; "
+         "DSTree/SFA/iSAX2+ balanced");
+  const auto methods = BestSixNames();
+  AccessTable(methods, /*vary_size=*/true);
+  AccessTable(methods, /*vary_size=*/false);
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

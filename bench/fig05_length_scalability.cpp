@@ -1,0 +1,48 @@
+// Figure 5: scalability with increasing data series lengths at a fixed
+// collection volume (the paper fixes 100GB and 16 summary dimensions).
+// Reports Idx+Exact100 and Idx+Exact10K modeled HDD times.
+#include <vector>
+
+#include "bench_common.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 5", "Scalability with increasing series lengths",
+         "ADS+ and VA+file costs plummet with longer series (skips merge "
+         "into fewer, larger jumps); other methods stay roughly flat");
+
+  const std::vector<size_t> lengths = {128, 256, 512, 1024, 2048};
+  const size_t fixed_volume = 40000 * 256;  // total floats kept constant
+  const auto hdd = io::DiskModel::ScaledHdd();
+  const size_t queries = 15;
+
+  util::Table t100({"method", "length", "idx+exact100_s"});
+  util::Table t10k({"method", "length", "idx+10K_s"});
+  for (const std::string& name : BestSixNames()) {
+    for (const size_t length : lengths) {
+      const size_t count = fixed_volume / length;
+      const auto data = gen::RandomWalkDataset(count, length, 27);
+      const auto workload = gen::RandWorkload(queries, length, 28);
+      auto method = CreateMethod(name, LeafFor(name, count));
+      const MethodRun run = RunMethod(method.get(), data, workload);
+      const double idx = IndexSeconds(run, hdd);
+      t100.AddRow({name, util::Table::Int(static_cast<long long>(length)),
+                   util::Table::Num(idx + Exact100Seconds(run, hdd), 3)});
+      t10k.AddRow({name, util::Table::Int(static_cast<long long>(length)),
+                   util::Table::Num(idx + Extrapolated10KSeconds(run, hdd),
+                                    1)});
+    }
+  }
+  t100.Print("Fig 5a: Idx+Exact100 vs length (HDD model)");
+  t10k.Print("Fig 5b: Idx+Exact10K (extrapolated) vs length (HDD model)");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 6: scalability comparison of the best methods on the HDD model:
+// Idx, Exact workload, Idx+Exact, Idx+Exact10K vs dataset size.
+#include "comparison_common.h"
+
+int main() {
+  hydra::bench::ScalabilityComparison(
+      hydra::io::DiskModel::ScaledHdd(), "Figure 6",
+      "HDD: ADS+ wins indexing; DSTree wins exact queries at scale; "
+      "VA+file strong overall; skip-heavy ADS+ degrades on exact queries "
+      "over large data");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 7: the Figure 6 experiment repeated on the SSD cost model. The
+// cheap random access inverts the ranking: the skip-sequential methods
+// (VA+file, ADS+) dominate, and the pure sequential scan suffers from the
+// SSD's lower throughput.
+#include "comparison_common.h"
+
+int main() {
+  hydra::bench::ScalabilityComparison(
+      hydra::io::DiskModel::Ssd(), "Figure 7",
+      "SSD: VA+file and ADS+ best in most scenarios (cheap seeks); "
+      "UCR-Suite poor (throughput-bound)");
+  return 0;
+}

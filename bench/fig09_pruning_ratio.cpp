@@ -1,0 +1,68 @@
+// Figure 9: pruning ratio of the five summarized methods across the seven
+// workloads (Synth-Rand, Synth-Ctrl, SALD-Ctrl, Seismic-Ctrl, Astro-Ctrl,
+// Deep-Orig, Deep-Ctrl), all at one dataset size.
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace hydra::bench {
+namespace {
+
+struct Config {
+  std::string workload_name;
+  std::string family;
+  bool ctrl;  // Ctrl = dataset series + progressive noise; else fresh draws
+};
+
+void Run() {
+  Banner("Figure 9", "Pruning ratio per method per workload",
+         "Synth-Rand prunes best for everyone; Ctrl workloads are more "
+         "varied (hard queries prune little); ADS+/VA+file best overall, "
+         "then DSTree/iSAX2+, SFA last (huge leaves)");
+
+  const size_t count = 20000;
+  const size_t queries = 30;
+  const std::vector<Config> configs = {
+      {"Synth-Rand", "synth", false},   {"Synth-Ctrl", "synth", true},
+      {"SALD-Ctrl", "sald", true},      {"Seismic-Ctrl", "seismic", true},
+      {"Astro-Ctrl", "astro", true},    {"Deep-Orig", "deep", false},
+      {"Deep-Ctrl", "deep", true},
+  };
+
+  util::Table table({"method", "workload", "prune_q25", "prune_median",
+                     "prune_q75", "prune_mean"});
+  for (const std::string& name : PruningMethodNames()) {
+    for (const Config& cfg : configs) {
+      const size_t length = cfg.family == "deep" ? 96 : 256;
+      const auto data = gen::MakeDataset(cfg.family, count, length, 67);
+      gen::Workload workload;
+      if (cfg.ctrl) {
+        workload = gen::CtrlWorkload(data, queries, 68);
+      } else if (cfg.family == "synth") {
+        workload = gen::RandWorkload(queries, length, 68);
+      } else {
+        // "Deep-Orig": independent queries from the same distribution.
+        workload.name = "Deep-Orig";
+        workload.queries = gen::MakeDataset(cfg.family, queries, length, 69);
+      }
+      auto method = CreateMethod(name, LeafFor(name, count));
+      const MethodRun run = RunMethod(method.get(), data, workload);
+      const auto ratios = PruningRatios(run, data.size());
+      table.AddRow({name, cfg.workload_name,
+                    util::Table::Num(util::Quantile(ratios, 0.25), 3),
+                    util::Table::Num(util::Quantile(ratios, 0.5), 3),
+                    util::Table::Num(util::Quantile(ratios, 0.75), 3),
+                    util::Table::Num(util::Mean(ratios), 3)});
+    }
+  }
+  table.Print("Fig 9: pruning ratio (higher is better), 20K series");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

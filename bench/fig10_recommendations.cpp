@@ -1,0 +1,61 @@
+// Figure 10: the recommendation decision matrix — best method for
+// Idx+Exact10K on the HDD model over the (dataset size x series length)
+// grid, distinguishing "in-memory" (small) from "disk-resident" (large)
+// collections and short from long series.
+#include <vector>
+
+#include "bench_common.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 10", "Recommendation matrix (Idx + 10K queries, HDD)",
+         "In-memory short series: iSAX2+/VA+file; disk-resident short: "
+         "DSTree/VA+file; long series: VA+file/DSTree (ADS+ where random "
+         "access is cheap)");
+
+  const std::vector<size_t> sizes = {5000, 20000, 80000};
+  const std::vector<size_t> lengths = {128, 256, 1024};
+  const auto hdd = io::DiskModel::ScaledHdd();
+  const size_t queries = 15;
+
+  util::Table table({"series", "length", "winner", "runner-up"});
+  for (const size_t count : sizes) {
+    for (const size_t length : lengths) {
+      const auto data = gen::RandomWalkDataset(count, length, 87);
+      const auto workload = gen::RandWorkload(queries, length, 88);
+      std::string best;
+      std::string second;
+      double best_v = 1e300;
+      double second_v = 1e300;
+      for (const std::string& name : BestSixNames()) {
+        auto method = CreateMethod(name, LeafFor(name, count));
+        const MethodRun run = RunMethod(method.get(), data, workload);
+        const double v =
+            IndexSeconds(run, hdd) + Extrapolated10KSeconds(run, hdd);
+        if (v < best_v) {
+          second = best;
+          second_v = best_v;
+          best = name;
+          best_v = v;
+        } else if (v < second_v) {
+          second = name;
+          second_v = v;
+        }
+      }
+      table.AddRow({util::Table::Int(static_cast<long long>(count)),
+                    util::Table::Int(static_cast<long long>(length)), best,
+                    second});
+    }
+  }
+  table.Print("Fig 10: best approach per (size, length), Idx+10K on HDD");
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Method advisor: the paper's Figure 10 decision matrix as a utility. For
+// a workload description (collection size, series length, query count,
+// storage type), it measures the candidate methods on a scaled-down proxy
+// collection and recommends one — the access-path-selection idea the paper
+// proposes as future work (Section 5).
+//
+//   $ ./method_advisor [series] [length] [queries] [hdd|ssd]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "gen/random_walk.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+
+int main(int argc, char** argv) {
+  using namespace hydra;
+
+  const size_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
+  const size_t length = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 256;
+  const size_t queries = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
+  const std::string disk_name = argc > 4 ? argv[4] : "hdd";
+  const io::DiskModel disk =
+      disk_name == "ssd" ? io::DiskModel::Ssd() : io::DiskModel::Hdd();
+
+  std::printf(
+      "advising for: %zu series x %zu points, %zu queries, %s storage\n\n",
+      count, length, queries, disk.name.c_str());
+
+  // Proxy measurement: cap the collection at a laptop-scale sample; the
+  // I/O ledger scales the modeled costs.
+  const size_t proxy_count = std::min<size_t>(count, 30000);
+  const double scale =
+      static_cast<double>(count) / static_cast<double>(proxy_count);
+  const auto data = gen::RandomWalkDataset(proxy_count, length, 31);
+  const auto probe = gen::RandWorkload(15, length, 32);
+
+  std::string best;
+  double best_total = 1e300;
+  std::printf("%-10s %12s %14s %14s\n", "method", "idx_s", "per_query_s",
+              "workload_s");
+  for (const std::string& name : bench::BestSixNames()) {
+    const size_t leaf = std::clamp<size_t>(proxy_count / 64, 64, 1024);
+    auto method = bench::CreateMethod(name, leaf);
+    const bench::MethodRun run = bench::RunMethod(method.get(), data, probe);
+    const double idx = bench::IndexSeconds(run, disk) * scale;
+    const double per_query =
+        bench::ExactWorkloadSeconds(run, disk) * scale /
+        static_cast<double>(run.queries.size());
+    const double total = idx + per_query * static_cast<double>(queries);
+    std::printf("%-10s %12.2f %14.4f %14.1f\n", name.c_str(), idx, per_query,
+                total);
+    if (total < best_total) {
+      best_total = total;
+      best = name;
+    }
+  }
+  std::printf(
+      "\nrecommendation: %s (estimated %.1fs for indexing plus the %zu-"
+      "query workload on %s)\n",
+      best.c_str(), best_total, queries, disk.name.c_str());
+  std::printf(
+      "note: scans win when pruning would be poor; indexes win on "
+      "summarizable data and large query counts (paper Figure 10).\n");
+  return 0;
+}

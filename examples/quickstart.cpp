@@ -1,0 +1,57 @@
+// Quickstart: build a collection, index it with the DSTree, answer an
+// exact 10-NN query, and inspect the measurement ledger.
+//
+//   $ ./quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "bench/registry.h"
+#include "core/method.h"
+#include "gen/random_walk.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+
+int main() {
+  using namespace hydra;
+
+  // 1. A collection of 50,000 z-normalized random-walk series, length 256.
+  //    (Swap in io::ReadSeriesFile to load your own binary series file.)
+  const core::Dataset data = gen::RandomWalkDataset(50000, 256, /*seed=*/1);
+  std::printf("collection: %zu series of length %zu (%.1f MB)\n",
+              data.size(), data.length(),
+              static_cast<double>(data.bytes()) / 1e6);
+
+  // 2. Build an exact whole-matching index (any of the ten methods by
+  //    name: "ADS+", "DSTree", "iSAX2+", "SFA", "VA+file", "UCR-Suite",
+  //    "MASS", "Stepwise", "M-tree", "R*-tree").
+  auto index = bench::CreateMethod("DSTree", /*leaf_capacity=*/512);
+  const core::BuildStats build = index->Build(data);
+  std::printf("built %s in %.2fs CPU\n", index->name().c_str(),
+              build.cpu_seconds);
+
+  // 3. Answer an exact 10-NN query.
+  const gen::Workload probe = gen::RandWorkload(1, data.length(), 2);
+  core::KnnResult result = index->SearchKnn(probe.queries[0], 10);
+  std::printf("\n10 nearest neighbors (Euclidean distance):\n");
+  for (const core::Neighbor& n : result.neighbors) {
+    std::printf("  series %7u  dist %.4f\n", n.id, std::sqrt(n.dist_sq));
+  }
+
+  // 4. The measurement ledger mirrors the paper's measures.
+  const auto& s = result.stats;
+  std::printf("\nquery ledger:\n");
+  std::printf("  raw series examined : %lld of %zu (pruning %.3f)\n",
+              static_cast<long long>(s.raw_series_examined), data.size(),
+              1.0 - static_cast<double>(s.raw_series_examined) /
+                        static_cast<double>(data.size()));
+  std::printf("  sequential reads    : %lld\n",
+              static_cast<long long>(s.sequential_reads));
+  std::printf("  random accesses     : %lld\n",
+              static_cast<long long>(s.random_seeks));
+  std::printf("  cpu seconds         : %.4f\n", s.cpu_seconds);
+  const auto hdd = io::DiskModel::Hdd();
+  const auto ssd = io::DiskModel::Ssd();
+  std::printf("  modeled total (HDD) : %.4fs   (SSD): %.4fs\n",
+              hdd.QueryTotalSeconds(s), ssd.QueryTotalSeconds(s));
+  return 0;
+}

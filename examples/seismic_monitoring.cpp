@@ -1,0 +1,63 @@
+// Seismic monitoring scenario (the paper's Seismic dataset): an archive of
+// instrument recordings; given a new recording window, find the most
+// similar historical windows — the template-matching primitive behind
+// earthquake detection. Compares an index (iSAX2+) against the optimized
+// sequential scan on easy (near-duplicate event) and hard (noisy) queries.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "gen/realistic.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+
+int main() {
+  using namespace hydra;
+
+  const size_t archive_size = 30000;
+  const size_t window = 256;
+  std::printf("seismic archive: %zu windows of %zu samples\n", archive_size,
+              window);
+  const core::Dataset archive =
+      gen::SeismicLikeDataset(archive_size, window, 11);
+
+  // Easy queries: a recorded event plus light noise (repeated aftershock);
+  // hard queries: heavily distorted events.
+  const gen::Workload easy = gen::CtrlWorkload(archive, 10, 12, 0.05, 0.2);
+  const gen::Workload hard = gen::CtrlWorkload(archive, 10, 13, 1.5, 3.0);
+
+  const auto hdd = io::DiskModel::Hdd();
+  for (const char* name : {"iSAX2+", "UCR-Suite"}) {
+    auto method = bench::CreateMethod(name, 512);
+    const bench::MethodRun run_easy =
+        bench::RunMethod(method.get(), archive, easy);
+    auto method2 = bench::CreateMethod(name, 512);
+    const bench::MethodRun run_hard =
+        bench::RunMethod(method2.get(), archive, hard);
+    std::printf(
+        "\n%-10s easy: %6.3fs modeled (prune %.3f) | hard: %6.3fs modeled "
+        "(prune %.3f)\n",
+        name, bench::ExactWorkloadSeconds(run_easy, hdd),
+        bench::MeanPruningRatio(run_easy, archive.size()),
+        bench::ExactWorkloadSeconds(run_hard, hdd),
+        bench::MeanPruningRatio(run_hard, archive.size()));
+  }
+
+  // Show one concrete match: the top hit for the first easy query should
+  // be the (lightly perturbed) source event.
+  auto index = bench::CreateMethod("iSAX2+", 512);
+  index->Build(archive);
+  const auto result = index->SearchKnn(easy.queries[0], 3);
+  std::printf("\ntop matches for aftershock window (noise sd %.2f):\n",
+              easy.noise_levels[0]);
+  for (const auto& n : result.neighbors) {
+    std::printf("  archive window %7u at distance %.4f\n", n.id,
+                std::sqrt(n.dist_sq));
+  }
+  std::printf(
+      "\nTakeaway (paper Table 2): indexes shine on easy/templated "
+      "queries; on hard queries their pruning collapses and the optimized "
+      "scan catches up.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace hydra::bench {
+
+MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
+                    const gen::Workload& workload, size_t k) {
+  HYDRA_CHECK(method != nullptr);
+  MethodRun run;
+  run.method = method->name();
+  run.build = method->Build(data);
+  run.queries.reserve(workload.queries.size());
+  run.nn_dists_sq.reserve(workload.queries.size());
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    core::KnnResult result = method->SearchKnn(workload.queries[q], k);
+    HYDRA_CHECK(!result.neighbors.empty());
+    run.queries.push_back(result.stats);
+    run.nn_dists_sq.push_back(result.neighbors.front().dist_sq);
+  }
+  return run;
+}
+
+double ExactWorkloadSeconds(const MethodRun& run, const io::DiskModel& disk) {
+  double total = 0.0;
+  for (const auto& q : run.queries) total += disk.QueryTotalSeconds(q);
+  return total;
+}
+
+double Exact100Seconds(const MethodRun& run, const io::DiskModel& disk) {
+  if (run.queries.empty()) return 0.0;
+  return ExactWorkloadSeconds(run, disk) /
+         static_cast<double>(run.queries.size()) * 100.0;
+}
+
+double Extrapolated10KSeconds(const MethodRun& run,
+                              const io::DiskModel& disk) {
+  std::vector<double> seconds(run.queries.size());
+  for (size_t i = 0; i < run.queries.size(); ++i) {
+    seconds[i] = disk.QueryTotalSeconds(run.queries[i]);
+  }
+  // The paper drops the 5 best and 5 worst of 100; scale proportionally for
+  // other workload sizes.
+  const size_t trim = std::max<size_t>(1, seconds.size() / 20);
+  const double mean =
+      seconds.size() > 2 * trim ? util::TrimmedMean(seconds, trim)
+                                : util::Mean(seconds);
+  return mean * 10000.0;
+}
+
+double IndexSeconds(const MethodRun& run, const io::DiskModel& disk) {
+  return disk.BuildTotalSeconds(run.build);
+}
+
+std::vector<double> PruningRatios(const MethodRun& run, size_t dataset_size) {
+  std::vector<double> ratios(run.queries.size());
+  for (size_t i = 0; i < run.queries.size(); ++i) {
+    ratios[i] = 1.0 - static_cast<double>(run.queries[i].raw_series_examined) /
+                          static_cast<double>(dataset_size);
+  }
+  return ratios;
+}
+
+double MeanPruningRatio(const MethodRun& run, size_t dataset_size) {
+  const auto ratios = PruningRatios(run, dataset_size);
+  return util::Mean(ratios);
+}
+
+double MeanSecondsOver(const MethodRun& run, const io::DiskModel& disk,
+                       const std::vector<size_t>& indices) {
+  if (indices.empty()) return 0.0;
+  double total = 0.0;
+  for (const size_t i : indices) {
+    total += disk.QueryTotalSeconds(run.queries[i]);
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+namespace {
+
+std::vector<size_t> RankByMeanPruning(const std::vector<MethodRun>& runs,
+                                      size_t dataset_size, size_t n,
+                                      bool easiest) {
+  HYDRA_CHECK(!runs.empty());
+  const size_t queries = runs.front().queries.size();
+  std::vector<double> mean_ratio(queries, 0.0);
+  for (const MethodRun& run : runs) {
+    HYDRA_CHECK(run.queries.size() == queries);
+    const auto ratios = PruningRatios(run, dataset_size);
+    for (size_t q = 0; q < queries; ++q) mean_ratio[q] += ratios[q];
+  }
+  std::vector<size_t> order(queries);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return easiest ? mean_ratio[a] > mean_ratio[b]
+                   : mean_ratio[a] < mean_ratio[b];
+  });
+  order.resize(std::min(n, order.size()));
+  return order;
+}
+
+}  // namespace
+
+std::vector<size_t> EasiestQueries(const std::vector<MethodRun>& runs,
+                                   size_t dataset_size, size_t n) {
+  return RankByMeanPruning(runs, dataset_size, n, /*easiest=*/true);
+}
+
+std::vector<size_t> HardestQueries(const std::vector<MethodRun>& runs,
+                                   size_t dataset_size, size_t n) {
+  return RankByMeanPruning(runs, dataset_size, n, /*easiest=*/false);
+}
+
+}  // namespace hydra::bench

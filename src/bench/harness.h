@@ -1,0 +1,62 @@
+// Experiment harness implementing the paper's scenarios and measures
+// (Section 4.2): Idx, Exact100, Idx+Exact100, Idx+Exact10K (trimmed-mean
+// extrapolation), Easy-20/Hard-20, pruning ratio, and TLB.
+#ifndef HYDRA_BENCH_HARNESS_H_
+#define HYDRA_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+
+namespace hydra::bench {
+
+/// Everything measured for one (method, dataset, workload) combination.
+struct MethodRun {
+  std::string method;
+  core::BuildStats build;
+  std::vector<core::SearchStats> queries;  // one ledger per query
+  std::vector<double> nn_dists_sq;         // 1-NN distance per query
+};
+
+/// Builds the method on `data` and answers every workload query (k-NN).
+MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
+                    const gen::Workload& workload, size_t k = 1);
+
+/// Sum over queries of modeled total time (CPU + I/O) on `disk`.
+double ExactWorkloadSeconds(const MethodRun& run, const io::DiskModel& disk);
+
+/// The paper's Exact100 scenario: mean modeled query time scaled to a
+/// 100-query workload (workloads may run fewer queries for speed).
+double Exact100Seconds(const MethodRun& run, const io::DiskModel& disk);
+
+/// The paper's 10,000-query extrapolation: drop the best and worst 5
+/// queries, multiply the mean of the remaining 90 by 10,000 (scaled to the
+/// actual workload size).
+double Extrapolated10KSeconds(const MethodRun& run, const io::DiskModel& disk);
+
+/// Modeled index construction time on `disk`.
+double IndexSeconds(const MethodRun& run, const io::DiskModel& disk);
+
+/// Mean pruning ratio over queries: 1 - raw series examined / dataset size.
+double MeanPruningRatio(const MethodRun& run, size_t dataset_size);
+
+/// Per-query pruning ratios (box-plot data).
+std::vector<double> PruningRatios(const MethodRun& run, size_t dataset_size);
+
+/// Mean modeled seconds over the queries selected by `indices`.
+double MeanSecondsOver(const MethodRun& run, const io::DiskModel& disk,
+                       const std::vector<size_t>& indices);
+
+/// Indices of the `n` easiest / hardest queries by average pruning ratio
+/// across the given runs (the paper's Easy-20 / Hard-20 definition).
+std::vector<size_t> EasiestQueries(const std::vector<MethodRun>& runs,
+                                   size_t dataset_size, size_t n);
+std::vector<size_t> HardestQueries(const std::vector<MethodRun>& runs,
+                                   size_t dataset_size, size_t n);
+
+}  // namespace hydra::bench
+
+#endif  // HYDRA_BENCH_HARNESS_H_

@@ -1,0 +1,33 @@
+// Factory for the ten methods of the study, addressed by their paper names.
+#ifndef HYDRA_BENCH_REGISTRY_H_
+#define HYDRA_BENCH_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+
+namespace hydra::bench {
+
+/// Creates a method by its paper name: "ADS+", "DSTree", "iSAX2+", "SFA",
+/// "UCR-Suite", "VA+file", "MASS", "Stepwise", "M-tree", "R*-tree".
+/// `leaf_capacity` == 0 picks a sensible default per method (tree methods
+/// use it directly; VA+file ignores it; M-tree/R*-tree use reduced values
+/// per their much smaller tuned leaves).
+std::unique_ptr<core::SearchMethod> CreateMethod(const std::string& name,
+                                                 size_t leaf_capacity = 0);
+
+/// All ten method names, in the paper's Table 1 order.
+std::vector<std::string> AllMethodNames();
+
+/// The six methods that survive the paper's Section 4.3.2 cut and compete
+/// in the Section 4.3.3 comparison.
+std::vector<std::string> BestSixNames();
+
+/// The five index methods with summarized leaves (TLB/pruning exhibits).
+std::vector<std::string> PruningMethodNames();
+
+}  // namespace hydra::bench
+
+#endif  // HYDRA_BENCH_REGISTRY_H_

@@ -1,0 +1,56 @@
+#include "core/dataset.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hydra::core {
+
+Dataset::Dataset(std::string name, size_t length)
+    : name_(std::move(name)), length_(length) {
+  HYDRA_CHECK_MSG(length_ > 0, "Dataset series length must be positive");
+}
+
+void Dataset::Append(SeriesView series) {
+  HYDRA_CHECK_MSG(series.size() == length_, "Append: series length mismatch");
+  values_.insert(values_.end(), series.begin(), series.end());
+  ++count_;
+}
+
+void Dataset::Reserve(size_t n) { values_.reserve(n * length_); }
+
+Value* Dataset::AppendUninitialized() {
+  values_.resize(values_.size() + length_);
+  ++count_;
+  return values_.data() + (count_ - 1) * length_;
+}
+
+void Dataset::ZNormalizeAll() {
+  for (size_t i = 0; i < count_; ++i) {
+    ZNormalize(std::span<Value>(values_.data() + i * length_, length_));
+  }
+}
+
+void ZNormalize(std::span<Value> series) {
+  const size_t n = series.size();
+  if (n == 0) return;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (Value v : series) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  constexpr double kMinVariance = 1e-12;
+  if (var < kMinVariance) {
+    for (Value& v : series) v = 0.0f;
+    return;
+  }
+  const double inv_std = 1.0 / std::sqrt(var);
+  for (Value& v : series) {
+    v = static_cast<Value>((v - mean) * inv_std);
+  }
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,66 @@
+// In-memory data series collection with contiguous storage.
+#ifndef HYDRA_CORE_DATASET_H_
+#define HYDRA_CORE_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hydra::core {
+
+/// A collection of equal-length data series stored contiguously
+/// (series-major), mirroring the raw binary files of the paper's framework.
+///
+/// The dataset is the ground truth "raw data file": index methods must route
+/// all access to it through io::CountedStorage so that sequential reads and
+/// random seeks are charged to the I/O ledger.
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Creates an empty dataset of `length`-point series.
+  Dataset(std::string name, size_t length);
+
+  /// Appends one series; `series.size()` must equal `length()`.
+  void Append(SeriesView series);
+  /// Pre-allocates storage for `n` series.
+  void Reserve(size_t n);
+
+  /// Number of series in the collection.
+  size_t size() const { return count_; }
+  /// Number of points per series (the dimensionality).
+  size_t length() const { return length_; }
+  /// Dataset size in bytes (the size of the simulated raw file).
+  size_t bytes() const { return values_.size() * sizeof(Value); }
+  const std::string& name() const { return name_; }
+
+  /// View of the i-th series.
+  SeriesView operator[](size_t i) const {
+    return SeriesView(values_.data() + i * length_, length_);
+  }
+
+  /// The full value buffer (series-major).
+  std::span<const Value> values() const { return values_; }
+
+  /// Mutable access for generators that fill series in place.
+  Value* AppendUninitialized();
+
+  /// Z-normalizes every series in place (mean 0, stddev 1). Series with
+  /// near-zero variance become all-zero. The paper's datasets are
+  /// normalized in advance; generators call this once at the end.
+  void ZNormalizeAll();
+
+ private:
+  std::string name_;
+  size_t length_ = 0;
+  size_t count_ = 0;
+  std::vector<Value> values_;
+};
+
+/// Z-normalizes `series` in place. Near-constant input becomes all zeros.
+void ZNormalize(std::span<Value> series);
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_DATASET_H_

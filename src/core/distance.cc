@@ -1,0 +1,73 @@
+#include "core/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hydra::core {
+
+double SquaredEuclidean(SeriesView a, SeriesView b) {
+  HYDRA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double SquaredEuclideanEarlyAbandon(SeriesView a, SeriesView b, double bound) {
+  HYDRA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  size_t i = 0;
+  const size_t n = a.size();
+  // Check the abandon condition every 8 dimensions to amortize the branch.
+  constexpr size_t kStride = 8;
+  while (i + kStride <= n) {
+    for (size_t j = 0; j < kStride; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > bound) return acc;
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+QueryOrder::QueryOrder(SeriesView query)
+    : query_(query.begin(), query.end()), order_(query.size()) {
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    return std::fabs(query_[a]) > std::fabs(query_[b]);
+  });
+}
+
+double QueryOrder::Distance(SeriesView candidate, double bound) const {
+  HYDRA_DCHECK(candidate.size() == query_.size());
+  double acc = 0.0;
+  const size_t n = order_.size();
+  size_t i = 0;
+  constexpr size_t kStride = 8;
+  while (i + kStride <= n) {
+    for (size_t j = 0; j < kStride; ++j, ++i) {
+      const uint32_t d = order_[i];
+      const double diff = static_cast<double>(query_[d]) - candidate[d];
+      acc += diff * diff;
+    }
+    if (acc > bound) return acc;
+  }
+  for (; i < n; ++i) {
+    const uint32_t d = order_[i];
+    const double diff = static_cast<double>(query_[d]) - candidate[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace hydra::core

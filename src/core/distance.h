@@ -1,0 +1,40 @@
+// Euclidean distance kernels with the paper's shared optimizations:
+// (a) no square root, (b) early abandoning, (c) reordered early abandoning.
+#ifndef HYDRA_CORE_DISTANCE_H_
+#define HYDRA_CORE_DISTANCE_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace hydra::core {
+
+/// Plain squared Euclidean distance.
+double SquaredEuclidean(SeriesView a, SeriesView b);
+
+/// Squared Euclidean distance that abandons once the partial sum exceeds
+/// `bound`; returns a value > `bound` when abandoned.
+double SquaredEuclideanEarlyAbandon(SeriesView a, SeriesView b, double bound);
+
+/// Per-query dimension ordering for reordered early abandoning: dimensions
+/// are visited in decreasing |q_i|, so large contributions (and abandons)
+/// come first on z-normalized data.
+class QueryOrder {
+ public:
+  explicit QueryOrder(SeriesView query);
+
+  /// Squared distance of `query` (the one given at construction) to
+  /// `candidate`, visiting dimensions in the precomputed order and
+  /// abandoning above `bound`.
+  double Distance(SeriesView candidate, double bound) const;
+
+  const std::vector<uint32_t>& order() const { return order_; }
+
+ private:
+  std::vector<Value> query_;     // copied query values
+  std::vector<uint32_t> order_;  // dimension visit order
+};
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_DISTANCE_H_

@@ -1,0 +1,103 @@
+// Bounded max-heap of the k best (smallest-distance) neighbors found so far.
+#ifndef HYDRA_CORE_KNN_H_
+#define HYDRA_CORE_KNN_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace hydra::core {
+
+/// One answer of a k-NN query. Distances are squared Euclidean (the paper's
+/// methods avoid the square root; callers can take sqrt for reporting).
+struct Neighbor {
+  SeriesId id = 0;
+  double dist_sq = std::numeric_limits<double>::infinity();
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq || (a.dist_sq == b.dist_sq && a.id < b.id);
+  }
+};
+
+/// Collects the k nearest neighbors. `Bound()` is the current best-so-far
+/// (bsf) pruning threshold: the k-th smallest distance seen, or +inf until
+/// k candidates have been offered.
+class KnnHeap {
+ public:
+  explicit KnnHeap(size_t k) : k_(k) { HYDRA_CHECK(k > 0); }
+
+  /// Offers a candidate; keeps it if it is among the k best so far.
+  void Offer(SeriesId id, double dist_sq) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, dist_sq});
+      std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+      return;
+    }
+    if (dist_sq < heap_.front().dist_sq) {
+      std::pop_heap(heap_.begin(), heap_.end(), ByDistance);
+      heap_.back() = {id, dist_sq};
+      std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+    }
+  }
+
+  /// Current pruning bound: the k-th best squared distance (or +inf).
+  double Bound() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.front().dist_sq;
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts the answers sorted by increasing distance.
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> result = std::move(heap_);
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+ private:
+  static bool ByDistance(const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;  // max-heap on distance
+  }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Collects every candidate within a fixed squared-distance bound — the
+/// r-range counterpart of KnnHeap. `Bound()` never shrinks, so the same
+/// pruned traversals work for both query flavors.
+class RangeCollector {
+ public:
+  explicit RangeCollector(double radius_sq) : radius_sq_(radius_sq) {
+    HYDRA_CHECK(radius_sq >= 0.0);
+  }
+
+  /// Keeps the candidate if it lies within the range.
+  void Offer(SeriesId id, double dist_sq) {
+    if (dist_sq <= radius_sq_) matches_.push_back({id, dist_sq});
+  }
+
+  /// The fixed pruning bound r^2.
+  double Bound() const { return radius_sq_; }
+
+  size_t size() const { return matches_.size(); }
+
+  /// Extracts the matches sorted by increasing distance.
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> result = std::move(matches_);
+    std::sort(result.begin(), result.end());
+    return result;
+  }
+
+ private:
+  double radius_sq_;
+  std::vector<Neighbor> matches_;
+};
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_KNN_H_

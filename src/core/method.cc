@@ -1,0 +1,18 @@
+#include "core/method.h"
+
+#include "core/distance.h"
+#include "util/check.h"
+
+namespace hydra::core {
+
+std::vector<Neighbor> BruteForceKnn(const Dataset& data, SeriesView query,
+                                    size_t k) {
+  HYDRA_CHECK(query.size() == data.length());
+  KnnHeap heap(k);
+  for (size_t i = 0; i < data.size(); ++i) {
+    heap.Offer(static_cast<SeriesId>(i), SquaredEuclidean(query, data[i]));
+  }
+  return heap.TakeSorted();
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,96 @@
+// The unified interface every similarity search method implements: this is
+// the paper's "same conditions" evaluation contract.
+#ifndef HYDRA_CORE_METHOD_H_
+#define HYDRA_CORE_METHOD_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/knn.h"
+#include "core/search_stats.h"
+#include "core/types.h"
+
+namespace hydra::core {
+
+/// Structural footprint of an index (Figure 8 of the paper).
+struct Footprint {
+  int64_t total_nodes = 0;
+  int64_t leaf_nodes = 0;
+  /// Resident bytes: summaries, tree structure, breakpoint tables.
+  int64_t memory_bytes = 0;
+  /// Simulated on-disk bytes: leaf files, approximation files.
+  int64_t disk_bytes = 0;
+  /// Per-leaf occupancy in [0,1] (leaf fill factor).
+  std::vector<double> leaf_fill_fractions;
+  /// Per-leaf depth (root = 0).
+  std::vector<int> leaf_depths;
+};
+
+/// Result of one exact k-NN query: the answers plus the measurement ledger.
+struct KnnResult {
+  std::vector<Neighbor> neighbors;
+  SearchStats stats;
+};
+
+/// Result of an r-range query (Definition 2 of the paper): every series
+/// within distance r of the query, sorted by increasing distance.
+struct RangeResult {
+  std::vector<Neighbor> matches;
+  SearchStats stats;
+};
+
+/// Abstract exact whole-matching k-NN search method. Implementations:
+/// the ten methods of the paper (Table 1) behind one contract.
+///
+/// Lifetime: the Dataset passed to Build must outlive the method; methods
+/// keep a pointer to it as the simulated raw data file.
+class SearchMethod {
+ public:
+  virtual ~SearchMethod() = default;
+
+  /// Human-readable method name ("ADS+", "DSTree", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds the index / pre-organizes the data. For sequential scans this
+  /// is a no-op that records the dataset pointer.
+  virtual BuildStats Build(const Dataset& data) = 0;
+
+  /// Answers an exact k-NN query. Non-const because adaptive methods
+  /// (ADS+) refine their structure during query answering, and storage
+  /// cursors move.
+  virtual KnnResult SearchKnn(SeriesView query, size_t k) = 0;
+
+  /// Answers an exact r-range query (`radius` is in distance units, not
+  /// squared). Every method implements it; the lower-bounding machinery of
+  /// SearchKnn prunes with the fixed bound r^2 instead of a shrinking bsf.
+  virtual RangeResult SearchRange(SeriesView query, double radius) = 0;
+
+  /// ng-approximate k-NN (Definition 7): traverses one path of the index,
+  /// visiting at most one leaf, and returns the best candidates found — no
+  /// error guarantee. The default falls back to the exact answer; the tree
+  /// indexes that the paper marks ng-approximate (ADS+, DSTree, iSAX2+,
+  /// SFA; Table 1) override it.
+  virtual KnnResult SearchKnnApproximate(SeriesView query, size_t k) {
+    return SearchKnn(query, k);
+  }
+
+  /// Index footprint; default is an empty footprint (sequential scans).
+  virtual Footprint footprint() const { return {}; }
+
+  /// Mean tightness of the lower bound over all leaves for `query`
+  /// (Section 4.2). NaN when the method has no summarized leaves.
+  virtual double MeanTlb(SeriesView /*query*/) const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+/// Ground-truth exact k-NN by brute force (used by tests and to label query
+/// difficulty). Returns neighbors sorted by increasing distance.
+std::vector<Neighbor> BruteForceKnn(const Dataset& data, SeriesView query,
+                                    size_t k);
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_METHOD_H_

@@ -1,0 +1,64 @@
+// Instrumentation counters shared by all methods: the paper's measures
+// (Section 4.2) are computed from these.
+#ifndef HYDRA_CORE_SEARCH_STATS_H_
+#define HYDRA_CORE_SEARCH_STATS_H_
+
+#include <cstdint>
+
+namespace hydra::core {
+
+/// Per-query measurement ledger. Sequential reads and random seeks follow
+/// the paper's definitions: one random disk access corresponds to one leaf
+/// access for tree indexes, and to one skip for skip-sequential methods
+/// (ADS+, VA+file) and multi-step refinement (Stepwise).
+struct SearchStats {
+  /// Full-resolution distance evaluations started (including abandoned ones).
+  int64_t distance_computations = 0;
+  /// Raw series fetched for refinement; the pruning ratio is
+  /// 1 - raw_series_examined / dataset_size.
+  int64_t raw_series_examined = 0;
+  /// Lower-bound evaluations against summaries or nodes.
+  int64_t lower_bound_computations = 0;
+  /// Index nodes visited (internal + leaf).
+  int64_t nodes_visited = 0;
+  /// Series read without an intervening seek.
+  int64_t sequential_reads = 0;
+  /// Random disk accesses (seeks).
+  int64_t random_seeks = 0;
+  /// Bytes fetched from the simulated raw/leaf/approximation files.
+  int64_t bytes_read = 0;
+  /// Wall-clock compute time of the query (excludes modeled I/O).
+  double cpu_seconds = 0.0;
+
+  /// Accumulates `other` into this ledger.
+  void Add(const SearchStats& other) {
+    distance_computations += other.distance_computations;
+    raw_series_examined += other.raw_series_examined;
+    lower_bound_computations += other.lower_bound_computations;
+    nodes_visited += other.nodes_visited;
+    sequential_reads += other.sequential_reads;
+    random_seeks += other.random_seeks;
+    bytes_read += other.bytes_read;
+    cpu_seconds += other.cpu_seconds;
+  }
+};
+
+/// Index-construction ledger. Output time is modeled from bytes_written and
+/// random_writes via io::DiskModel.
+struct BuildStats {
+  /// Wall-clock compute time of construction.
+  double cpu_seconds = 0.0;
+  /// Bytes written to the simulated index/leaf files.
+  int64_t bytes_written = 0;
+  /// Random write seeks during construction.
+  int64_t random_writes = 0;
+  /// Bytes read from the raw file during construction (bulk loading reads
+  /// the collection once; some methods read it twice).
+  int64_t bytes_read = 0;
+  /// Random read seeks during construction.
+  int64_t random_reads = 0;
+};
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_SEARCH_STATS_H_

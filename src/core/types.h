@@ -1,0 +1,23 @@
+// Fundamental value types for data series.
+#ifndef HYDRA_CORE_TYPES_H_
+#define HYDRA_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hydra::core {
+
+/// Series values are stored in single precision, as in the paper; all
+/// distance accumulation is done in double precision.
+using Value = float;
+
+/// A non-owning view of one data series.
+using SeriesView = std::span<const Value>;
+
+/// Identifier of a series inside a dataset (its position).
+using SeriesId = uint32_t;
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_TYPES_H_

@@ -1,0 +1,24 @@
+#include "gen/random_walk.h"
+
+#include "util/rng.h"
+
+namespace hydra::gen {
+
+core::Dataset RandomWalkDataset(size_t count, size_t length, uint64_t seed,
+                                const std::string& name) {
+  util::Rng rng(seed);
+  core::Dataset data(name, length);
+  data.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::Value* row = data.AppendUninitialized();
+    double walk = 0.0;
+    for (size_t j = 0; j < length; ++j) {
+      walk += rng.Gaussian();
+      row[j] = static_cast<core::Value>(walk);
+    }
+  }
+  data.ZNormalizeAll();
+  return data;
+}
+
+}  // namespace hydra::gen

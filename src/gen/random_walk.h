@@ -1,0 +1,19 @@
+// Random-walk data series generator (the paper's synthetic datasets:
+// cumulative sums of N(0,1) steps, claimed to model stock prices).
+#ifndef HYDRA_GEN_RANDOM_WALK_H_
+#define HYDRA_GEN_RANDOM_WALK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+
+namespace hydra::gen {
+
+/// Generates `count` z-normalized random-walk series of `length` points.
+core::Dataset RandomWalkDataset(size_t count, size_t length, uint64_t seed,
+                                const std::string& name = "Synth");
+
+}  // namespace hydra::gen
+
+#endif  // HYDRA_GEN_RANDOM_WALK_H_

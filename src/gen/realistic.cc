@@ -1,0 +1,127 @@
+#include "gen/realistic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gen/random_walk.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hydra::gen {
+
+core::Dataset SeismicLikeDataset(size_t count, size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  core::Dataset data("Seismic", length);
+  data.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::Value* row = data.AppendUninitialized();
+    for (size_t j = 0; j < length; ++j) {
+      row[j] = static_cast<core::Value>(0.3 * rng.Gaussian());
+    }
+    const int events = 1 + rng.Poisson(1.5);
+    for (int e = 0; e < events; ++e) {
+      const size_t onset = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(length) - 1));
+      const double amplitude = std::exp(rng.Gaussian(1.0, 0.6));
+      const double freq = rng.Uniform(0.05, 0.35);     // cycles per sample
+      const double decay = rng.Uniform(0.02, 0.1);     // envelope decay rate
+      const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+      for (size_t j = onset; j < length; ++j) {
+        const double t = static_cast<double>(j - onset);
+        row[j] += static_cast<core::Value>(
+            amplitude * std::exp(-decay * t) *
+            std::sin(2.0 * M_PI * freq * t + phase));
+      }
+    }
+  }
+  data.ZNormalizeAll();
+  return data;
+}
+
+core::Dataset AstroLikeDataset(size_t count, size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  core::Dataset data("Astro", length);
+  data.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::Value* row = data.AppendUninitialized();
+    const double period =
+        rng.Uniform(static_cast<double>(length) / 8.0,
+                    static_cast<double>(length) / 2.0);
+    const double base_phase = rng.Uniform(0.0, 2.0 * M_PI);
+    double harmonics[3];
+    for (double& h : harmonics) h = std::exp(rng.Gaussian(0.0, 0.5));
+    harmonics[1] *= 0.5;
+    harmonics[2] *= 0.25;
+    for (size_t j = 0; j < length; ++j) {
+      const double t = static_cast<double>(j);
+      double v = 0.0;
+      for (int h = 0; h < 3; ++h) {
+        v += harmonics[h] *
+             std::sin(2.0 * M_PI * (h + 1) * t / period + base_phase * (h + 1));
+      }
+      row[j] = static_cast<core::Value>(v + 0.2 * rng.Gaussian());
+    }
+  }
+  data.ZNormalizeAll();
+  return data;
+}
+
+core::Dataset SaldLikeDataset(size_t count, size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  core::Dataset data("SALD", length);
+  data.Reserve(count);
+  constexpr double kAr = 0.97;  // strong autocorrelation: smooth signals
+  for (size_t i = 0; i < count; ++i) {
+    core::Value* row = data.AppendUninitialized();
+    double state = rng.Gaussian();
+    const double drift_period =
+        rng.Uniform(static_cast<double>(length) / 2.0,
+                    static_cast<double>(length) * 2.0);
+    const double drift_phase = rng.Uniform(0.0, 2.0 * M_PI);
+    for (size_t j = 0; j < length; ++j) {
+      state = kAr * state + std::sqrt(1.0 - kAr * kAr) * rng.Gaussian();
+      const double drift =
+          0.8 * std::sin(2.0 * M_PI * static_cast<double>(j) / drift_period +
+                         drift_phase);
+      row[j] = static_cast<core::Value>(state + drift);
+    }
+  }
+  data.ZNormalizeAll();
+  return data;
+}
+
+core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed) {
+  util::Rng rng(seed);
+  core::Dataset data("Deep1B", length);
+  data.Reserve(count);
+  // Shared random mixing matrix: latent factors spread across all positions,
+  // so no short prefix of any fixed transform captures most of the energy.
+  const size_t rank = std::max<size_t>(4, length / 8);
+  std::vector<double> mix(rank * length);
+  for (double& m : mix) m = rng.Gaussian() / std::sqrt(static_cast<double>(rank));
+  std::vector<double> latent(rank);
+  for (size_t i = 0; i < count; ++i) {
+    core::Value* row = data.AppendUninitialized();
+    for (double& z : latent) z = rng.Gaussian();
+    for (size_t j = 0; j < length; ++j) {
+      double v = 0.0;
+      for (size_t r = 0; r < rank; ++r) v += latent[r] * mix[r * length + j];
+      row[j] = static_cast<core::Value>(v + 0.4 * rng.Gaussian());
+    }
+  }
+  data.ZNormalizeAll();
+  return data;
+}
+
+core::Dataset MakeDataset(const std::string& family, size_t count,
+                          size_t length, uint64_t seed) {
+  if (family == "synth") return RandomWalkDataset(count, length, seed);
+  if (family == "seismic") return SeismicLikeDataset(count, length, seed);
+  if (family == "astro") return AstroLikeDataset(count, length, seed);
+  if (family == "sald") return SaldLikeDataset(count, length, seed);
+  if (family == "deep") return DeepLikeDataset(count, length, seed);
+  HYDRA_CHECK_MSG(false, "unknown dataset family");
+  return core::Dataset("", 1);
+}
+
+}  // namespace hydra::gen

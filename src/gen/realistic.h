@@ -1,0 +1,42 @@
+// Simulators for the paper's four real datasets. We do not have the
+// proprietary/large originals (IRIS Seismic, Astro light curves, SALD MRI,
+// Deep1B embeddings); these generators produce series with the same coarse
+// spectral character, which is what differentiates method behaviour:
+// how much energy the first coefficients/segments capture (summarizability)
+// and how close queries are to their nearest neighbors (difficulty).
+// The substitution is documented in DESIGN.md.
+#ifndef HYDRA_GEN_REALISTIC_H_
+#define HYDRA_GEN_REALISTIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+
+namespace hydra::gen {
+
+/// Seismic-like series: background noise plus a few damped oscillatory
+/// bursts (transient events), like instrument recordings around quakes.
+core::Dataset SeismicLikeDataset(size_t count, size_t length, uint64_t seed);
+
+/// Astronomy-like series: periodic light curves (a few harmonics with
+/// random period/phase) plus observation noise.
+core::Dataset AstroLikeDataset(size_t count, size_t length, uint64_t seed);
+
+/// SALD-like (MRI) series: smooth, strongly autocorrelated signals —
+/// an AR(1) process with slow drift. Highly summarizable.
+core::Dataset SaldLikeDataset(size_t count, size_t length, uint64_t seed);
+
+/// Deep1B-like vectors: low-rank correlated embeddings (random linear maps
+/// of a lower-dimensional latent) plus isotropic noise — hard to
+/// summarize with few coefficients, like CNN descriptors.
+core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed);
+
+/// Dispatch by name: "synth", "seismic", "astro", "sald", "deep".
+core::Dataset MakeDataset(const std::string& family, size_t count,
+                          size_t length, uint64_t seed);
+
+}  // namespace hydra::gen
+
+#endif  // HYDRA_GEN_REALISTIC_H_

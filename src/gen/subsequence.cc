@@ -1,0 +1,32 @@
+#include "gen/subsequence.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace hydra::gen {
+
+ChoppedCollection ChopForWholeMatching(const core::Dataset& long_series,
+                                       size_t window, size_t stride,
+                                       bool znormalize_windows) {
+  HYDRA_CHECK(window > 0);
+  HYDRA_CHECK(stride > 0);
+  HYDRA_CHECK_MSG(long_series.length() >= window,
+                  "series shorter than the query window");
+
+  ChoppedCollection out{core::Dataset(long_series.name() + "-windows", window),
+                        {}};
+  std::vector<core::Value> buf(window);
+  for (size_t i = 0; i < long_series.size(); ++i) {
+    const core::SeriesView s = long_series[i];
+    for (size_t off = 0; off + window <= s.size(); off += stride) {
+      for (size_t j = 0; j < window; ++j) buf[j] = s[off + j];
+      if (znormalize_windows) core::ZNormalize(buf);
+      out.windows.Append(buf);
+      out.origins.push_back({i, off});
+    }
+  }
+  return out;
+}
+
+}  // namespace hydra::gen

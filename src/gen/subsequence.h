@@ -1,0 +1,43 @@
+// Subsequence matching via whole matching (Section 2 of the paper): "SM
+// queries can be converted to WM: create a new collection that comprises
+// all overlapping subsequences (each long series in the candidate set is
+// chopped into overlapping subsequences of the length of the query), and
+// perform a WM query against these subsequences."
+#ifndef HYDRA_GEN_SUBSEQUENCE_H_
+#define HYDRA_GEN_SUBSEQUENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace hydra::gen {
+
+/// Maps a window id in the chopped collection back to its source.
+struct WindowOrigin {
+  /// Index of the long series in the input collection.
+  size_t source;
+  /// Offset of the window's first point within that series.
+  size_t offset;
+};
+
+/// A whole-matching collection of all overlapping windows of the given
+/// `window` length taken every `stride` points from each long series, plus
+/// the bookkeeping to map matches back to (series, offset) positions.
+struct ChoppedCollection {
+  core::Dataset windows;
+  std::vector<WindowOrigin> origins;
+};
+
+/// Chops every series of `long_series` (each at least `window` points long)
+/// into overlapping windows. With `znormalize_windows` each window is
+/// z-normalized independently, the convention for subsequence matching over
+/// normalized distance (UCR Suite). `stride` of 1 enumerates every
+/// subsequence, larger strides trade recall for collection size.
+ChoppedCollection ChopForWholeMatching(const core::Dataset& long_series,
+                                       size_t window, size_t stride = 1,
+                                       bool znormalize_windows = true);
+
+}  // namespace hydra::gen
+
+#endif  // HYDRA_GEN_SUBSEQUENCE_H_

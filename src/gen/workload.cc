@@ -1,0 +1,46 @@
+#include "gen/workload.h"
+
+#include <vector>
+
+#include "gen/random_walk.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hydra::gen {
+
+Workload RandWorkload(size_t count, size_t length, uint64_t seed) {
+  Workload w;
+  w.name = "Synth-Rand";
+  w.queries = RandomWalkDataset(count, length, seed, "Synth-Rand");
+  return w;
+}
+
+Workload CtrlWorkload(const core::Dataset& data, size_t count, uint64_t seed,
+                      double min_noise, double max_noise) {
+  HYDRA_CHECK(data.size() > 0);
+  util::Rng rng(seed);
+  Workload w;
+  w.name = data.name() + "-Ctrl";
+  w.queries = core::Dataset(w.name, data.length());
+  w.queries.Reserve(count);
+  w.noise_levels.resize(count);
+  std::vector<core::Value> buf(data.length());
+  for (size_t i = 0; i < count; ++i) {
+    const double noise =
+        count == 1 ? min_noise
+                   : min_noise + (max_noise - min_noise) *
+                                     static_cast<double>(i) /
+                                     static_cast<double>(count - 1);
+    w.noise_levels[i] = noise;
+    const auto base = data[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(data.size()) - 1))];
+    for (size_t j = 0; j < buf.size(); ++j) {
+      buf[j] = static_cast<core::Value>(base[j] + rng.Gaussian(0.0, noise));
+    }
+    core::ZNormalize(buf);
+    w.queries.Append(buf);
+  }
+  return w;
+}
+
+}  // namespace hydra::gen

@@ -1,0 +1,38 @@
+// Query workload construction, following Section 4.2 of the paper:
+// Synth-Rand workloads are fresh random walks; *-Ctrl workloads extract
+// series from the dataset and add progressively larger amounts of noise to
+// control query difficulty (harder queries are farther from their NN).
+#ifndef HYDRA_GEN_WORKLOAD_H_
+#define HYDRA_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace hydra::gen {
+
+/// A set of query series against one dataset.
+struct Workload {
+  std::string name;
+  core::Dataset queries;
+  /// Noise level used per query (empty for Rand workloads).
+  std::vector<double> noise_levels;
+};
+
+/// `count` fresh random-walk queries (the paper's Synth-Rand).
+Workload RandWorkload(size_t count, size_t length, uint64_t seed);
+
+/// `count` controlled queries: dataset series plus Gaussian noise whose
+/// standard deviation grows linearly from `min_noise` to `max_noise` across
+/// the workload, then re-z-normalized (the paper's *-Ctrl workloads).
+/// At the default cap the hardest queries keep only ~70% correlation with
+/// their source series — hard, but not indistinguishable from random.
+Workload CtrlWorkload(const core::Dataset& data, size_t count,
+                      uint64_t seed, double min_noise = 0.01,
+                      double max_noise = 1.0);
+
+}  // namespace hydra::gen
+
+#endif  // HYDRA_GEN_WORKLOAD_H_

@@ -1,0 +1,215 @@
+#include "index/ads.h"
+
+#include <cmath>
+
+#include "core/distance.h"
+#include "transform/paa.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hydra::index {
+
+core::BuildStats AdsPlus::Build(const core::Dataset& data) {
+  util::WallTimer timer;
+  data_ = &data;
+  HYDRA_CHECK_MSG(data.length() % options_.segments == 0,
+                  "ADS+ requires length divisible by segment count");
+
+  full_words_.resize(data.size() * options_.segments);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto paa = transform::Paa(data[i], options_.segments);
+    for (size_t s = 0; s < options_.segments; ++s) {
+      full_words_[i * options_.segments + s] =
+          transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+    }
+  }
+  tree_ = std::make_unique<IsaxTree>(
+      IsaxTreeOptions{options_.segments, options_.leaf_capacity},
+      full_words_.data());
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree_->Insert(static_cast<core::SeriesId>(i));
+  }
+  raw_ = std::make_unique<io::CountedStorage>(data_);
+
+  core::BuildStats stats;
+  stats.cpu_seconds = timer.Seconds();
+  // One sequential read of the raw file; only the (small) summary file is
+  // written — ADS+ never moves raw series at build time.
+  stats.bytes_read = static_cast<int64_t>(data.bytes());
+  stats.random_reads = 1;
+  stats.bytes_written = static_cast<int64_t>(full_words_.size());
+  stats.random_writes = 1;
+  return stats;
+}
+
+core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const size_t segments = options_.segments;
+  const auto paa = transform::Paa(query, segments);
+  const size_t pps = query.size() / segments;
+
+  // Phase 1 (ng-approximate): adaptively refine the query path down to the
+  // minimal leaf size, then fetch that leaf's series from the raw file.
+  std::vector<uint8_t> q_word(segments);
+  for (size_t s = 0; s < segments; ++s) {
+    q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+  }
+  IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
+  while (home != nullptr && home->size() > options_.adaptive_leaf_capacity) {
+    const size_t before = home->size();
+    tree_->SplitLeaf(home);
+    if (home->is_leaf) break;  // could not split (max resolution)
+    home = tree_->ApproximateLeaf(q_word, paa, pps);
+    if (home == nullptr || home->size() >= before) break;
+  }
+  std::vector<bool> evaluated(data_->size(), false);
+  if (home != nullptr) {
+    ++result.stats.nodes_visited;
+    for (const core::SeriesId id : home->ids) {
+      const core::SeriesView s = raw_->Read(id, &result.stats);
+      const double d = order.Distance(s, heap.Bound());
+      ++result.stats.distance_computations;
+      ++result.stats.raw_series_examined;
+      evaluated[id] = true;
+      heap.Offer(id, d);
+    }
+  }
+
+  // Phase 2: lower bounds against every full-resolution summary (the
+  // summary array is memory-resident).
+  const size_t count = data_->size();
+  std::vector<double> lb(count);
+  transform::IsaxWord w;
+  w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
+  w.symbols.resize(segments);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t s = 0; s < segments; ++s) {
+      w.symbols[s] = full_words_[i * segments + s];
+    }
+    lb[i] = transform::IsaxMinDistSq(paa, w, pps);
+  }
+  result.stats.lower_bound_computations += static_cast<int64_t>(count);
+
+  // Phase 3: skip-sequential scan of the raw file over non-pruned series
+  // (series already refined in phase 1 are not re-read).
+  raw_->ResetCursor();
+  for (size_t i = 0; i < count; ++i) {
+    if (evaluated[i] || lb[i] >= heap.Bound()) continue;  // skip
+    const core::SeriesView s =
+        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
+    const double d = order.Distance(s, heap.Bound());
+    ++result.stats.distance_computations;
+    ++result.stats.raw_series_examined;
+    heap.Offer(static_cast<core::SeriesId>(i), d);
+  }
+
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::RangeResult AdsPlus::SearchRange(core::SeriesView query,
+                                       double radius) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::RangeResult result;
+  core::RangeCollector collector(radius * radius);
+  const core::QueryOrder order(query);
+  const size_t segments = options_.segments;
+  const auto paa = transform::Paa(query, segments);
+  const size_t pps = query.size() / segments;
+
+  // SIMS with a fixed bound: the approximate phase is unnecessary — prune
+  // every summary against r^2, then skip-sequentially refine survivors.
+  const size_t count = data_->size();
+  transform::IsaxWord w;
+  w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
+  w.symbols.resize(segments);
+  raw_->ResetCursor();
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t s = 0; s < segments; ++s) {
+      w.symbols[s] = full_words_[i * segments + s];
+    }
+    ++result.stats.lower_bound_computations;
+    if (transform::IsaxMinDistSq(paa, w, pps) > collector.Bound()) continue;
+    const core::SeriesView s =
+        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
+    const double d = order.Distance(s, collector.Bound());
+    ++result.stats.distance_computations;
+    ++result.stats.raw_series_examined;
+    collector.Offer(static_cast<core::SeriesId>(i), d);
+  }
+
+  result.matches = collector.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::KnnResult AdsPlus::SearchKnnApproximate(core::SeriesView query,
+                                              size_t k) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const auto paa = transform::Paa(query, options_.segments);
+  const size_t pps = query.size() / options_.segments;
+
+  std::vector<uint8_t> q_word(options_.segments);
+  for (size_t s = 0; s < options_.segments; ++s) {
+    q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+  }
+  IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
+  if (home != nullptr) {
+    ++result.stats.nodes_visited;
+    for (const core::SeriesId id : home->ids) {
+      const core::SeriesView s = raw_->Read(id, &result.stats);
+      const double d = order.Distance(s, heap.Bound());
+      ++result.stats.distance_computations;
+      ++result.stats.raw_series_examined;
+      heap.Offer(id, d);
+    }
+  }
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::Footprint AdsPlus::footprint() const {
+  HYDRA_CHECK(tree_ != nullptr);
+  core::Footprint fp = tree_->StructureFootprint();
+  fp.memory_bytes += static_cast<int64_t>(full_words_.size());
+  // ADS+ stores only the summary file; raw data stays in the original file.
+  fp.disk_bytes = static_cast<int64_t>(full_words_.size());
+  return fp;
+}
+
+double AdsPlus::MeanTlb(core::SeriesView query) const {
+  HYDRA_CHECK(tree_ != nullptr);
+  const size_t segments = options_.segments;
+  const auto paa = transform::Paa(query, segments);
+  const size_t pps = query.size() / segments;
+  double sum = 0.0;
+  int64_t leaves = 0;
+  tree_->ForEachNode([&](const IsaxTree::Node& node) {
+    if (!node.is_leaf || node.ids.empty()) return;
+    const double lb =
+        std::sqrt(transform::IsaxMinDistSq(paa, node.word, pps));
+    double true_sum = 0.0;
+    for (const core::SeriesId id : node.ids) {
+      true_sum += std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
+    }
+    const double mean_true = true_sum / static_cast<double>(node.ids.size());
+    if (mean_true > 0.0) {
+      sum += lb / mean_true;
+      ++leaves;
+    }
+  });
+  return leaves == 0 ? 0.0 : sum / static_cast<double>(leaves);
+}
+
+}  // namespace hydra::index

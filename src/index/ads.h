@@ -1,0 +1,50 @@
+// ADS+: the adaptive data series index. The tree holds iSAX summaries only;
+// exact queries use SIMS — an ng-approximate tree descent for an initial
+// best-so-far, then per-series lower bounds against all full-resolution
+// summaries, then a skip-sequential pass over the raw file.
+#ifndef HYDRA_INDEX_ADS_H_
+#define HYDRA_INDEX_ADS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/method.h"
+#include "index/isax_tree.h"
+#include "io/counted_storage.h"
+
+namespace hydra::index {
+
+/// Options for ADS+. `adaptive_leaf_capacity` is the minimal leaf size the
+/// index refines to along query paths (adaptive splitting).
+struct AdsOptions {
+  size_t segments = 16;
+  size_t leaf_capacity = 1000;
+  size_t adaptive_leaf_capacity = 64;
+};
+
+/// Exact whole-matching k-NN via ADS+ / SIMS.
+class AdsPlus : public core::SearchMethod {
+ public:
+  explicit AdsPlus(AdsOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ADS+"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+  core::KnnResult SearchKnnApproximate(core::SeriesView query,
+                                       size_t k) override;
+  core::Footprint footprint() const override;
+  double MeanTlb(core::SeriesView query) const override;
+
+ private:
+  AdsOptions options_;
+  const core::Dataset* data_ = nullptr;
+  std::vector<uint8_t> full_words_;
+  std::unique_ptr<IsaxTree> tree_;
+  std::unique_ptr<io::CountedStorage> raw_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_ADS_H_

@@ -1,0 +1,69 @@
+// DSTree: data-adaptive and dynamic segmentation index (Wang et al. 2013).
+// Each node has its own EAPCA segmentation; splits are horizontal (on a
+// segment's mean or stddev) or vertical (refine a segment, then split),
+// chosen by a quality-of-split heuristic over both bounds.
+#ifndef HYDRA_INDEX_DSTREE_H_
+#define HYDRA_INDEX_DSTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/method.h"
+#include "io/counted_storage.h"
+#include "transform/eapca.h"
+
+namespace hydra::index {
+
+/// Options for DSTree. Segmentations start uniform with `initial_segments`
+/// and may refine up to `max_segments` via vertical splits.
+struct DsTreeOptions {
+  size_t initial_segments = 4;
+  size_t max_segments = 32;
+  size_t leaf_capacity = 1000;
+};
+
+/// Exact whole-matching k-NN via the DSTree.
+class DsTree : public core::SearchMethod {
+ public:
+  explicit DsTree(DsTreeOptions options = {});
+  ~DsTree() override;
+
+  std::string name() const override { return "DSTree"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+  core::KnnResult SearchKnnApproximate(core::SeriesView query,
+                                       size_t k) override;
+  core::Footprint footprint() const override;
+  double MeanTlb(core::SeriesView query) const override;
+
+ private:
+  struct Node;
+
+  /// Per-series cumulative sums enabling O(1) segment mean/stddev.
+  struct Prefix {
+    std::vector<double> sum;
+    std::vector<double> sum_sq;
+  };
+
+  static Prefix ComputePrefix(core::SeriesView x);
+  static transform::SegmentStats StatOf(const Prefix& p, uint32_t begin,
+                                        uint32_t end);
+  static std::vector<transform::SegmentStats> StatsOn(
+      const Prefix& p, const transform::Segmentation& seg);
+
+  void Insert(core::SeriesId id, const Prefix& p);
+  void SplitLeaf(Node* leaf);
+  void VisitLeaf(const Node& leaf, const core::QueryOrder& order,
+                 core::KnnHeap* heap, core::SearchStats* stats) const;
+
+  DsTreeOptions options_;
+  const core::Dataset* data_ = nullptr;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_DSTREE_H_

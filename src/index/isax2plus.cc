@@ -1,0 +1,179 @@
+#include "index/isax2plus.h"
+
+#include <cmath>
+
+#include "core/distance.h"
+#include "transform/paa.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hydra::index {
+
+core::BuildStats Isax2Plus::Build(const core::Dataset& data) {
+  util::WallTimer timer;
+  data_ = &data;
+  HYDRA_CHECK_MSG(data.length() % options_.segments == 0,
+                  "iSAX2+ requires length divisible by segment count");
+
+  // One sequential pass: PAA -> full-resolution words.
+  full_words_.resize(data.size() * options_.segments);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto paa = transform::Paa(data[i], options_.segments);
+    for (size_t s = 0; s < options_.segments; ++s) {
+      full_words_[i * options_.segments + s] =
+          transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+    }
+  }
+  tree_ = std::make_unique<IsaxTree>(
+      IsaxTreeOptions{options_.segments, options_.leaf_capacity},
+      full_words_.data());
+  for (size_t i = 0; i < data.size(); ++i) {
+    tree_->Insert(static_cast<core::SeriesId>(i));
+  }
+
+  core::BuildStats stats;
+  stats.cpu_seconds = timer.Seconds();
+  stats.bytes_read = static_cast<int64_t>(data.bytes());
+  stats.random_reads = 1;
+  // Leaf materialization: the raw collection is clustered into leaf files.
+  stats.bytes_written = static_cast<int64_t>(data.bytes());
+  stats.random_writes = tree_->StructureFootprint().leaf_nodes;
+  return stats;
+}
+
+void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,
+                          const core::QueryOrder& order, core::KnnHeap* heap,
+                          core::SearchStats* stats) const {
+  if (leaf.ids.empty()) return;
+  io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
+                     stats);
+  for (const core::SeriesId id : leaf.ids) {
+    const double d = order.Distance((*data_)[id], heap->Bound());
+    ++stats->distance_computations;
+    ++stats->raw_series_examined;
+    heap->Offer(id, d);
+  }
+}
+
+core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const auto paa = transform::Paa(query, options_.segments);
+  const size_t pps = query.size() / options_.segments;
+
+  // ng-approximate phase: descend to the query's covering leaf for a bsf.
+  std::vector<uint8_t> q_word(options_.segments);
+  for (size_t s = 0; s < options_.segments; ++s) {
+    q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+  }
+  IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
+  if (home != nullptr) {
+    ++result.stats.nodes_visited;
+    VisitLeaf(*home, order, &heap, &result.stats);
+  }
+
+  // Exact phase: best-first traversal pruned by the bsf.
+  tree_->BestFirstSearch(
+      paa, pps, [&] { return heap.Bound(); },
+      [&](IsaxTree::Node* leaf) {
+        if (leaf == home) return;  // already scanned
+        VisitLeaf(*leaf, order, &heap, &result.stats);
+      },
+      &result.stats);
+
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::RangeResult Isax2Plus::SearchRange(core::SeriesView query,
+                                         double radius) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::RangeResult result;
+  core::RangeCollector collector(radius * radius);
+  const core::QueryOrder order(query);
+  const auto paa = transform::Paa(query, options_.segments);
+  const size_t pps = query.size() / options_.segments;
+
+  tree_->BestFirstSearch(
+      paa, pps, [&] { return collector.Bound(); },
+      [&](IsaxTree::Node* leaf) {
+        if (leaf->ids.empty()) return;
+        io::ChargeLeafRead(leaf->ids.size(),
+                           data_->length() * sizeof(core::Value),
+                           &result.stats);
+        for (const core::SeriesId id : leaf->ids) {
+          const double d = order.Distance((*data_)[id], collector.Bound());
+          ++result.stats.distance_computations;
+          ++result.stats.raw_series_examined;
+          collector.Offer(id, d);
+        }
+      },
+      &result.stats);
+
+  result.matches = collector.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::KnnResult Isax2Plus::SearchKnnApproximate(core::SeriesView query,
+                                                size_t k) {
+  HYDRA_CHECK(tree_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const auto paa = transform::Paa(query, options_.segments);
+  const size_t pps = query.size() / options_.segments;
+
+  // One-path traversal, at most one leaf (Definition 7).
+  std::vector<uint8_t> q_word(options_.segments);
+  for (size_t s = 0; s < options_.segments; ++s) {
+    q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
+  }
+  IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
+  if (home != nullptr) {
+    ++result.stats.nodes_visited;
+    VisitLeaf(*home, order, &heap, &result.stats);
+  }
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::Footprint Isax2Plus::footprint() const {
+  HYDRA_CHECK(tree_ != nullptr);
+  core::Footprint fp = tree_->StructureFootprint();
+  fp.memory_bytes += static_cast<int64_t>(full_words_.size());
+  fp.disk_bytes = static_cast<int64_t>(data_->bytes());  // leaf files
+  return fp;
+}
+
+double Isax2Plus::MeanTlb(core::SeriesView query) const {
+  HYDRA_CHECK(tree_ != nullptr);
+  const auto paa = transform::Paa(query, options_.segments);
+  const size_t pps = query.size() / options_.segments;
+  double sum = 0.0;
+  int64_t leaves = 0;
+  tree_->ForEachNode([&](const IsaxTree::Node& node) {
+    if (!node.is_leaf || node.ids.empty()) return;
+    const double lb =
+        std::sqrt(transform::IsaxMinDistSq(paa, node.word, pps));
+    double true_sum = 0.0;
+    for (const core::SeriesId id : node.ids) {
+      true_sum += std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
+    }
+    const double mean_true = true_sum / static_cast<double>(node.ids.size());
+    if (mean_true > 0.0) {
+      sum += lb / mean_true;
+      ++leaves;
+    }
+  });
+  return leaves == 0 ? 0.0 : sum / static_cast<double>(leaves);
+}
+
+}  // namespace hydra::index

@@ -1,0 +1,51 @@
+// iSAX2+: bulk-loaded iSAX index with variable-cardinality splitting.
+// Splits operate on summaries only; raw series are materialized into leaf
+// files once at the end of bulk loading (the iSAX2+ optimization).
+#ifndef HYDRA_INDEX_ISAX2PLUS_H_
+#define HYDRA_INDEX_ISAX2PLUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/method.h"
+#include "index/isax_tree.h"
+#include "io/counted_storage.h"
+
+namespace hydra::index {
+
+/// Options for iSAX2+ (the paper tunes the leaf threshold; 16 segments and
+/// cardinality 256 are the paper's defaults).
+struct Isax2PlusOptions {
+  size_t segments = 16;
+  size_t leaf_capacity = 1000;
+};
+
+/// Exact whole-matching k-NN via the iSAX2+ index.
+class Isax2Plus : public core::SearchMethod {
+ public:
+  explicit Isax2Plus(Isax2PlusOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "iSAX2+"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+  core::KnnResult SearchKnnApproximate(core::SeriesView query,
+                                       size_t k) override;
+  core::Footprint footprint() const override;
+  double MeanTlb(core::SeriesView query) const override;
+
+ private:
+  void VisitLeaf(const IsaxTree::Node& leaf, const core::QueryOrder& order,
+                 core::KnnHeap* heap, core::SearchStats* stats) const;
+
+  Isax2PlusOptions options_;
+  const core::Dataset* data_ = nullptr;
+  std::vector<uint8_t> full_words_;  // segments symbols per series
+  std::unique_ptr<IsaxTree> tree_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_ISAX2PLUS_H_

@@ -1,0 +1,214 @@
+#include "index/isax_tree.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace hydra::index {
+
+IsaxTree::IsaxTree(IsaxTreeOptions options, const uint8_t* full_words)
+    : options_(options), full_words_(full_words) {
+  HYDRA_CHECK(options_.segments > 0 && options_.segments <= 24);
+  HYDRA_CHECK(options_.leaf_capacity > 0);
+  HYDRA_CHECK(full_words != nullptr);
+}
+
+uint32_t IsaxTree::FirstLevelKey(std::span<const uint8_t> full_word) const {
+  uint32_t key = 0;
+  for (size_t s = 0; s < options_.segments; ++s) {
+    key = (key << 1) | (transform::ReduceSymbol(full_word[s], 1) & 1u);
+  }
+  return key;
+}
+
+IsaxTree::Node* IsaxTree::FirstLevelFor(std::span<const uint8_t> full_word,
+                                        bool create) {
+  const uint32_t key = FirstLevelKey(full_word);
+  auto it = first_level_.find(key);
+  if (it != first_level_.end()) return it->second.get();
+  if (!create) return nullptr;
+  auto node = std::make_unique<Node>();
+  node->word.symbols.resize(options_.segments);
+  node->word.bits.assign(options_.segments, 1);
+  for (size_t s = 0; s < options_.segments; ++s) {
+    node->word.symbols[s] = transform::ReduceSymbol(full_word[s], 1);
+  }
+  Node* raw = node.get();
+  first_level_.emplace(key, std::move(node));
+  return raw;
+}
+
+void IsaxTree::Insert(core::SeriesId id) {
+  const auto word = WordOf(id);
+  Node* node = FirstLevelFor(word, /*create=*/true);
+  while (!node->is_leaf) {
+    const int s = node->split_segment;
+    const int child_bits = node->word.bits[s] + 1;
+    const uint8_t bit = transform::ReduceSymbol(word[s], child_bits) & 1u;
+    node = (bit == 0 ? node->child0 : node->child1).get();
+  }
+  node->ids.push_back(id);
+  if (node->size() > options_.leaf_capacity) SplitLeaf(node);
+}
+
+int IsaxTree::ChooseSplitSegment(const Node& leaf) const {
+  // The iSAX 2.0 policy: split on the segment whose next bit divides the
+  // leaf most evenly; a small penalty steers away from over-refining one
+  // segment (ties broken toward the coarsest).
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < options_.segments; ++s) {
+    if (leaf.word.bits[s] >= transform::kMaxSaxBits) continue;
+    const int child_bits = leaf.word.bits[s] + 1;
+    size_t ones = 0;
+    for (const core::SeriesId id : leaf.ids) {
+      ones += transform::ReduceSymbol(WordOf(id)[s], child_bits) & 1u;
+    }
+    const double balance =
+        std::fabs(static_cast<double>(ones) -
+                  static_cast<double>(leaf.size()) / 2.0);
+    const double score =
+        balance + static_cast<double>(leaf.word.bits[s]) * 0.25;
+    if (score < best_score) {
+      best_score = score;
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+void IsaxTree::SplitLeaf(Node* leaf) {
+  const int s = ChooseSplitSegment(*leaf);
+  if (s < 0) return;  // maximum resolution reached; leaf stays oversized
+
+  const int child_bits = leaf->word.bits[s] + 1;
+  auto make_child = [&](uint8_t bit) {
+    auto child = std::make_unique<Node>();
+    child->word = leaf->word;
+    child->word.bits[s] = static_cast<uint8_t>(child_bits);
+    child->word.symbols[s] =
+        static_cast<uint8_t>((leaf->word.symbols[s] << 1) | bit);
+    child->depth = leaf->depth + 1;
+    return child;
+  };
+  leaf->child0 = make_child(0);
+  leaf->child1 = make_child(1);
+  for (const core::SeriesId id : leaf->ids) {
+    const uint8_t bit = transform::ReduceSymbol(WordOf(id)[s], child_bits) & 1u;
+    (bit == 0 ? leaf->child0 : leaf->child1)->ids.push_back(id);
+  }
+  leaf->ids.clear();
+  leaf->ids.shrink_to_fit();
+  leaf->is_leaf = false;
+  leaf->split_segment = s;
+  // An uneven split may leave one child overflowing; recurse on it.
+  for (Node* child : {leaf->child0.get(), leaf->child1.get()}) {
+    if (child->size() > options_.leaf_capacity) SplitLeaf(child);
+  }
+}
+
+IsaxTree::Node* IsaxTree::ApproximateLeaf(std::span<const uint8_t> full_word,
+                                          std::span<const double> paa_q,
+                                          size_t points_per_segment) {
+  if (first_level_.empty()) return nullptr;
+  Node* node = FirstLevelFor(full_word, /*create=*/false);
+  if (node == nullptr) {
+    // No covering first-level node: fall back to the closest existing one.
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [key, candidate] : first_level_) {
+      const double d = transform::IsaxMinDistSq(paa_q, candidate->word,
+                                                points_per_segment);
+      if (d < best) {
+        best = d;
+        node = candidate.get();
+      }
+    }
+  }
+  while (!node->is_leaf) {
+    const int s = node->split_segment;
+    const int child_bits = node->word.bits[s] + 1;
+    const uint8_t bit = transform::ReduceSymbol(full_word[s], child_bits) & 1u;
+    Node* preferred = (bit == 0 ? node->child0 : node->child1).get();
+    Node* other = (bit == 0 ? node->child1 : node->child0).get();
+    // Avoid dead-ending in an empty leaf when the sibling has data.
+    node = (preferred->is_leaf && preferred->ids.empty() &&
+            !(other->is_leaf && other->ids.empty()))
+               ? other
+               : preferred;
+  }
+  return node;
+}
+
+void IsaxTree::BestFirstSearch(std::span<const double> paa_q,
+                               size_t points_per_segment,
+                               const std::function<double()>& bound,
+                               const std::function<void(Node*)>& visit_leaf,
+                               core::SearchStats* stats) const {
+  struct Item {
+    double mindist;
+    Node* node;
+    bool operator<(const Item& other) const {
+      return mindist > other.mindist;  // min-heap
+    }
+  };
+  std::priority_queue<Item> queue;
+  for (const auto& [key, node] : first_level_) {
+    const double d = transform::IsaxMinDistSq(paa_q, node->word,
+                                              points_per_segment);
+    if (stats != nullptr) ++stats->lower_bound_computations;
+    if (d < bound()) queue.push({d, node.get()});
+  }
+  while (!queue.empty()) {
+    const Item item = queue.top();
+    queue.pop();
+    if (item.mindist >= bound()) break;  // all remaining nodes are pruned
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (item.node->is_leaf) {
+      visit_leaf(item.node);
+      continue;
+    }
+    for (Node* child : {item.node->child0.get(), item.node->child1.get()}) {
+      const double d = transform::IsaxMinDistSq(paa_q, child->word,
+                                                points_per_segment);
+      if (stats != nullptr) ++stats->lower_bound_computations;
+      if (d < bound()) queue.push({d, child});
+    }
+  }
+}
+
+void IsaxTree::ForEachNode(const std::function<void(const Node&)>& fn) const {
+  std::vector<const Node*> stack;
+  for (const auto& [key, node] : first_level_) stack.push_back(node.get());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    fn(*node);
+    if (!node->is_leaf) {
+      stack.push_back(node->child0.get());
+      stack.push_back(node->child1.get());
+    }
+  }
+}
+
+core::Footprint IsaxTree::StructureFootprint() const {
+  core::Footprint fp;
+  ForEachNode([&](const Node& node) {
+    ++fp.total_nodes;
+    fp.memory_bytes += static_cast<int64_t>(
+        sizeof(Node) + 2 * options_.segments);  // word symbols + bits
+    if (node.is_leaf) {
+      ++fp.leaf_nodes;
+      fp.memory_bytes +=
+          static_cast<int64_t>(node.ids.size() * sizeof(core::SeriesId));
+      fp.leaf_fill_fractions.push_back(
+          static_cast<double>(node.size()) /
+          static_cast<double>(options_.leaf_capacity));
+      fp.leaf_depths.push_back(node.depth);
+    }
+  });
+  return fp;
+}
+
+}  // namespace hydra::index

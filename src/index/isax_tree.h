@@ -1,0 +1,98 @@
+// Shared iSAX tree machinery used by iSAX2+ and ADS+: a first-level layer
+// of 1-bit-per-segment words (fanout up to 2^segments, created on demand)
+// over binary split subtrees with variable-cardinality words.
+#ifndef HYDRA_INDEX_ISAX_TREE_H_
+#define HYDRA_INDEX_ISAX_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/method.h"
+#include "core/types.h"
+#include "transform/isax.h"
+
+namespace hydra::index {
+
+/// Configuration of an iSAX tree.
+struct IsaxTreeOptions {
+  size_t segments = 16;
+  size_t leaf_capacity = 1000;
+};
+
+/// iSAX split tree. Leaves hold series ids; every series' full-resolution
+/// word lives in a flat array owned by the caller (summaries stay in
+/// memory, as in both iSAX2+ and ADS+). The first level assigns one bit to
+/// every segment at once (the classic iSAX root fanout); further node
+/// splits raise one segment's cardinality by one bit, choosing the segment
+/// whose next bit partitions the leaf most evenly (the iSAX 2.0 policy).
+class IsaxTree {
+ public:
+  struct Node {
+    transform::IsaxWord word;
+    int depth = 1;  // first-level nodes sit at depth 1
+    bool is_leaf = true;
+    int split_segment = -1;            // internal nodes only
+    std::unique_ptr<Node> child0;      // next bit 0
+    std::unique_ptr<Node> child1;      // next bit 1
+    std::vector<core::SeriesId> ids;   // leaf only
+
+    size_t size() const { return ids.size(); }
+  };
+
+  /// `full_words` is the flat per-series full-resolution symbol array
+  /// (`segments` symbols per series), owned by the caller and immutable for
+  /// the tree's lifetime.
+  IsaxTree(IsaxTreeOptions options, const uint8_t* full_words);
+
+  /// Inserts one series by id; creates the first-level node on demand and
+  /// splits overflowing leaves.
+  void Insert(core::SeriesId id);
+
+  /// Splits `leaf` once (two children, entries redistributed). No-op if the
+  /// word is already at maximum resolution everywhere.
+  void SplitLeaf(Node* leaf);
+
+  /// Leaf used by ng-approximate search: the leaf covering `full_word` if
+  /// its first-level node exists, otherwise the leaf under the first-level
+  /// node with the smallest MINDIST. Returns nullptr on an empty tree.
+  Node* ApproximateLeaf(std::span<const uint8_t> full_word,
+                        std::span<const double> paa_q,
+                        size_t points_per_segment);
+
+  /// Best-first exact traversal: calls `visit_leaf(leaf)` for every leaf
+  /// whose MINDIST to `paa_q` is below the bound returned by `bound()`
+  /// (re-evaluated as the search tightens).
+  void BestFirstSearch(std::span<const double> paa_q,
+                       size_t points_per_segment,
+                       const std::function<double()>& bound,
+                       const std::function<void(Node*)>& visit_leaf,
+                       core::SearchStats* stats) const;
+
+  const IsaxTreeOptions& options() const { return options_; }
+
+  /// Walks all nodes (pre-order within each first-level subtree).
+  void ForEachNode(const std::function<void(const Node&)>& fn) const;
+
+  /// Number of nodes / leaf nodes and resident bytes of the structure.
+  core::Footprint StructureFootprint() const;
+
+ private:
+  std::span<const uint8_t> WordOf(core::SeriesId id) const {
+    return {full_words_ + static_cast<size_t>(id) * options_.segments,
+            options_.segments};
+  }
+  uint32_t FirstLevelKey(std::span<const uint8_t> full_word) const;
+  Node* FirstLevelFor(std::span<const uint8_t> full_word, bool create);
+  int ChooseSplitSegment(const Node& leaf) const;
+
+  IsaxTreeOptions options_;
+  const uint8_t* full_words_;
+  std::unordered_map<uint32_t, std::unique_ptr<Node>> first_level_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_ISAX_TREE_H_

@@ -1,0 +1,360 @@
+#include "index/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/distance.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hydra::index {
+
+struct MTree::Route {
+  core::SeriesId center = 0;
+  double radius = 0.0;
+  double dist_to_parent = 0.0;
+};
+
+struct MTree::Node {
+  core::SeriesId center = 0;
+  double radius = 0.0;
+  double dist_to_parent = 0.0;
+  bool is_leaf = true;
+  // Leaf payload: member ids with their distance to the node center.
+  std::vector<std::pair<core::SeriesId, double>> entries;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+MTree::MTree(MTreeOptions options) : options_(options) {}
+MTree::~MTree() = default;
+
+double MTree::Dist(core::SeriesId a, core::SeriesId b) const {
+  ++build_distance_count_;
+  return std::sqrt(core::SquaredEuclidean((*data_)[a], (*data_)[b]));
+}
+
+double MTree::DistToQuery(core::SeriesView query, core::SeriesId id,
+                          core::SearchStats* stats) const {
+  ++stats->distance_computations;
+  return std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
+}
+
+core::BuildStats MTree::Build(const core::Dataset& data) {
+  util::WallTimer timer;
+  data_ = &data;
+  HYDRA_CHECK(data.size() > 0);
+  build_distance_count_ = 0;
+
+  root_ = std::make_unique<Node>();
+  root_->center = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const core::SeriesId id = static_cast<core::SeriesId>(i);
+    const double d = Dist(id, root_->center);
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    Route lr;
+    Route rr;
+    if (Insert(root_.get(), id, d, &left, &right, &lr, &rr)) {
+      // Root split: promote a new root above the two halves.
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->center = lr.center;
+      left->dist_to_parent = 0.0;
+      right->dist_to_parent = Dist(rr.center, lr.center);
+      new_root->radius = std::max(lr.radius,
+                                  right->dist_to_parent + rr.radius);
+      new_root->children.push_back(std::move(left));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+    }
+  }
+
+  core::BuildStats stats;
+  stats.cpu_seconds = timer.Seconds();
+  stats.bytes_read = static_cast<int64_t>(data.bytes());
+  stats.random_reads = 1;
+  // Memory-resident index (the paper's only scalable implementation).
+  stats.bytes_written = 0;
+  return stats;
+}
+
+bool MTree::Insert(Node* node, core::SeriesId id, double dist_to_node_center,
+                   std::unique_ptr<Node>* out_left,
+                   std::unique_ptr<Node>* out_right, Route* left_route,
+                   Route* right_route) {
+  node->radius = std::max(node->radius, dist_to_node_center);
+  if (node->is_leaf) {
+    node->entries.emplace_back(id, dist_to_node_center);
+    if (node->entries.size() > options_.leaf_capacity) {
+      SplitNode(node, out_left, out_right, left_route, right_route);
+      return true;
+    }
+    return false;
+  }
+
+  // Choose the child: min distance among covering children, else minimum
+  // radius enlargement.
+  Node* best = nullptr;
+  double best_dist = 0.0;
+  double best_key = std::numeric_limits<double>::infinity();
+  for (const auto& child : node->children) {
+    const double d = Dist(id, child->center);
+    const double key = d <= child->radius ? d - 1e9 : d - child->radius;
+    if (key < best_key) {
+      best_key = key;
+      best = child.get();
+      best_dist = d;
+    }
+  }
+  HYDRA_CHECK(best != nullptr);
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+  Route lr;
+  Route rr;
+  if (Insert(best, id, best_dist, &left, &right, &lr, &rr)) {
+    // Replace the split child by the two halves.
+    auto it = std::find_if(node->children.begin(), node->children.end(),
+                           [&](const auto& c) { return c.get() == best; });
+    HYDRA_CHECK(it != node->children.end());
+    node->children.erase(it);
+    left->dist_to_parent = Dist(lr.center, node->center);
+    right->dist_to_parent = Dist(rr.center, node->center);
+    node->radius = std::max({node->radius, left->dist_to_parent + lr.radius,
+                             right->dist_to_parent + rr.radius});
+    node->children.push_back(std::move(left));
+    node->children.push_back(std::move(right));
+    if (node->children.size() > options_.internal_capacity) {
+      SplitNode(node, out_left, out_right, left_route, right_route);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MTree::SplitNode(Node* node, std::unique_ptr<Node>* out_left,
+                      std::unique_ptr<Node>* out_right, Route* left_route,
+                      Route* right_route) {
+  // Gather member centers (leaf entries or child routing centers).
+  std::vector<core::SeriesId> members;
+  if (node->is_leaf) {
+    members.reserve(node->entries.size());
+    for (const auto& [id, d] : node->entries) members.push_back(id);
+  } else {
+    members.reserve(node->children.size());
+    for (const auto& c : node->children) members.push_back(c->center);
+  }
+  const size_t n = members.size();
+  HYDRA_CHECK(n >= 2);
+
+  // Sampled mM_RAD promotion: try candidate pairs, keep the pair minimizing
+  // the larger covering radius.
+  util::Rng rng(n * 2654435761u);
+  size_t best_a = 0;
+  size_t best_b = 1;
+  double best_score = std::numeric_limits<double>::infinity();
+  const size_t samples = std::max<size_t>(options_.split_samples, 1);
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    if (a == b) b = (b + 1) % n;
+    double ra = 0.0;
+    double rb = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double da = Dist(members[i], members[a]);
+      const double db = Dist(members[i], members[b]);
+      if (da <= db) {
+        ra = std::max(ra, da);
+      } else {
+        rb = std::max(rb, db);
+      }
+    }
+    const double score = std::max(ra, rb);
+    if (score < best_score) {
+      best_score = score;
+      best_a = a;
+      best_b = b;
+    }
+  }
+
+  auto left = std::make_unique<Node>();
+  auto right = std::make_unique<Node>();
+  left->is_leaf = right->is_leaf = node->is_leaf;
+  left->center = members[best_a];
+  right->center = members[best_b];
+
+  if (node->is_leaf) {
+    for (const auto& [id, unused] : node->entries) {
+      const double da = Dist(id, left->center);
+      const double db = Dist(id, right->center);
+      Node* target = da <= db ? left.get() : right.get();
+      const double d = da <= db ? da : db;
+      target->entries.emplace_back(id, d);
+      target->radius = std::max(target->radius, d);
+    }
+  } else {
+    for (auto& child : node->children) {
+      const double da = Dist(child->center, left->center);
+      const double db = Dist(child->center, right->center);
+      Node* target = da <= db ? left.get() : right.get();
+      const double d = da <= db ? da : db;
+      child->dist_to_parent = d;
+      target->radius = std::max(target->radius, d + child->radius);
+      target->children.push_back(std::move(child));
+    }
+  }
+  *left_route = {left->center, left->radius, 0.0};
+  *right_route = {right->center, right->radius, 0.0};
+  *out_left = std::move(left);
+  *out_right = std::move(right);
+}
+
+core::KnnResult MTree::SearchKnn(core::SeriesView query, size_t k) {
+  return SearchKnnEpsApproximate(query, k, /*epsilon=*/0.0);
+}
+
+core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
+                                               size_t k, double epsilon) {
+  HYDRA_CHECK(root_ != nullptr);
+  HYDRA_CHECK(epsilon >= 0.0);
+  // Pruning against bsf/(1+eps) guarantees d(result) <= (1+eps) * d(true).
+  const double shrink = 1.0 / (1.0 + epsilon);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);  // squared distances, like all methods
+
+  struct Item {
+    double dmin;         // lower bound on the distance to any member
+    double dist_center;  // d(q, node center), already computed
+    const Node* node;
+    bool operator<(const Item& other) const {
+      return dmin > other.dmin;
+    }
+  };
+  const double root_dist = DistToQuery(query, root_->center, &result.stats);
+  std::priority_queue<Item> pq;
+  pq.push({std::max(0.0, root_dist - root_->radius), root_dist, root_.get()});
+
+  while (!pq.empty()) {
+    const Item item = pq.top();
+    pq.pop();
+    const double bsf = std::sqrt(heap.Bound()) * shrink;
+    if (item.dmin >= bsf) break;
+    ++result.stats.nodes_visited;
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      for (const auto& [id, dist_to_center] : node->entries) {
+        // Triangle-inequality filter using the precomputed distance.
+        if (std::fabs(item.dist_center - dist_to_center) >=
+            std::sqrt(heap.Bound()) * shrink) {
+          continue;
+        }
+        const double d = DistToQuery(query, id, &result.stats);
+        ++result.stats.raw_series_examined;
+        heap.Offer(id, d * d);
+      }
+      continue;
+    }
+    for (const auto& child : node->children) {
+      const double current_bsf = std::sqrt(heap.Bound()) * shrink;
+      // Prune with the parent distance before computing d(q, child center).
+      if (std::fabs(item.dist_center - child->dist_to_parent) -
+              child->radius >=
+          current_bsf) {
+        continue;
+      }
+      const double d = DistToQuery(query, child->center, &result.stats);
+      const double dmin = std::max(0.0, d - child->radius);
+      if (dmin < current_bsf) pq.push({dmin, d, child.get()});
+    }
+  }
+
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::RangeResult MTree::SearchRange(core::SeriesView query,
+                                     double radius) {
+  HYDRA_CHECK(root_ != nullptr);
+  util::WallTimer timer;
+  core::RangeResult result;
+  core::RangeCollector collector(radius * radius);
+
+  // Classic metric range query: recurse into children whose covering
+  // sphere intersects the query ball, filtering with parent distances
+  // before computing real ones.
+  struct Frame {
+    const Node* node;
+    double dist_center;  // d(q, node center)
+  };
+  std::vector<Frame> stack;
+  const double root_dist = DistToQuery(query, root_->center, &result.stats);
+  if (root_dist - root_->radius <= radius) {
+    stack.push_back({root_.get(), root_dist});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++result.stats.nodes_visited;
+    if (f.node->is_leaf) {
+      for (const auto& [id, dist_to_center] : f.node->entries) {
+        if (std::fabs(f.dist_center - dist_to_center) > radius) continue;
+        const double d = DistToQuery(query, id, &result.stats);
+        ++result.stats.raw_series_examined;
+        collector.Offer(id, d * d);
+      }
+      continue;
+    }
+    for (const auto& child : f.node->children) {
+      if (std::fabs(f.dist_center - child->dist_to_parent) - child->radius >
+          radius) {
+        continue;
+      }
+      const double d = DistToQuery(query, child->center, &result.stats);
+      if (d - child->radius <= radius) stack.push_back({child.get(), d});
+    }
+  }
+
+  result.matches = collector.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::Footprint MTree::footprint() const {
+  HYDRA_CHECK(root_ != nullptr);
+  core::Footprint fp;
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++fp.total_nodes;
+    fp.memory_bytes += static_cast<int64_t>(
+        sizeof(Node) +
+        f.node->entries.size() * sizeof(std::pair<core::SeriesId, double>));
+    if (f.node->is_leaf) {
+      ++fp.leaf_nodes;
+      fp.leaf_fill_fractions.push_back(
+          static_cast<double>(f.node->entries.size()) /
+          static_cast<double>(options_.leaf_capacity));
+      fp.leaf_depths.push_back(f.depth);
+    } else {
+      for (const auto& c : f.node->children) {
+        stack.push_back({c.get(), f.depth + 1});
+      }
+    }
+  }
+  // Memory-resident: the series themselves count toward the footprint.
+  fp.memory_bytes += static_cast<int64_t>(data_->bytes());
+  return fp;
+}
+
+}  // namespace hydra::index

@@ -1,0 +1,70 @@
+// M-tree: metric access method over raw series with covering radii and
+// triangle-inequality pruning (Ciaccia, Patella & Zezula). Memory-resident,
+// like the only implementation that scaled in the paper's study.
+#ifndef HYDRA_INDEX_MTREE_H_
+#define HYDRA_INDEX_MTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/method.h"
+
+namespace hydra::index {
+
+/// Options for the M-tree (the paper's tuned leaf capacity is very small).
+struct MTreeOptions {
+  size_t leaf_capacity = 32;
+  size_t internal_capacity = 16;
+  /// Candidate promotions sampled per split (mM_RAD approximation).
+  size_t split_samples = 8;
+};
+
+/// Exact whole-matching k-NN via the M-tree. Distances are true Euclidean
+/// (the metric the triangle inequality needs); results are reported as
+/// squared distances like every other method.
+class MTree : public core::SearchMethod {
+ public:
+  explicit MTree(MTreeOptions options = {});
+  ~MTree() override;
+
+  std::string name() const override { return "M-tree"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+
+  /// epsilon-approximate k-NN (Definition 5 of the paper; Table 1 marks the
+  /// M-tree as supporting it): every result is within (1+epsilon) of the
+  /// true k-th NN distance. Subtrees are pruned against bsf/(1+epsilon), so
+  /// larger epsilon trades accuracy for fewer distance computations.
+  /// epsilon == 0 is the exact search.
+  core::KnnResult SearchKnnEpsApproximate(core::SeriesView query, size_t k,
+                                          double epsilon);
+  core::Footprint footprint() const override;
+
+ private:
+  struct Node;
+  struct Route;
+
+  double Dist(core::SeriesId a, core::SeriesId b) const;
+  double DistToQuery(core::SeriesView query, core::SeriesId id,
+                     core::SearchStats* stats) const;
+  /// Inserts into the subtree; on overflow returns two replacement routes.
+  bool Insert(Node* node, core::SeriesId id, double dist_to_node_center,
+              std::unique_ptr<Node>* out_left,
+              std::unique_ptr<Node>* out_right, Route* left_route,
+              Route* right_route);
+  void SplitNode(Node* node, std::unique_ptr<Node>* out_left,
+                 std::unique_ptr<Node>* out_right, Route* left_route,
+                 Route* right_route);
+
+  MTreeOptions options_;
+  const core::Dataset* data_ = nullptr;
+  std::unique_ptr<Node> root_;
+  core::SeriesId root_center_ = 0;
+  mutable int64_t build_distance_count_ = 0;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_MTREE_H_

@@ -1,0 +1,63 @@
+// R*-tree over PAA summaries (Beckmann et al.), with ChooseSubtree overlap
+// minimization, the R* topological split, and forced reinsertion. PAA
+// points are scaled by sqrt(points_per_segment) so that rectangle MINDIST
+// lower-bounds the true Euclidean distance.
+#ifndef HYDRA_INDEX_RTREE_H_
+#define HYDRA_INDEX_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/method.h"
+#include "io/counted_storage.h"
+
+namespace hydra::index {
+
+/// Options for the R*-tree (the paper tunes the leaf capacity; 50 wins).
+struct RTreeOptions {
+  size_t segments = 16;
+  size_t leaf_capacity = 50;
+  size_t internal_capacity = 50;
+  /// Fraction of entries re-inserted on first overflow per level.
+  double reinsert_fraction = 0.3;
+};
+
+/// Exact whole-matching k-NN via an R*-tree on PAA points.
+class RStarTree : public core::SearchMethod {
+ public:
+  explicit RStarTree(RTreeOptions options = {});
+  ~RStarTree() override;
+
+  std::string name() const override { return "R*-tree"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+  core::Footprint footprint() const override;
+  double MeanTlb(core::SeriesView query) const override;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  void InsertPoint(core::SeriesId id);
+  void InsertEntry(Entry entry, int target_level, bool allow_reinsert);
+  Node* ChooseSubtree(const Entry& entry, int target_level,
+                      std::vector<Node*>* path);
+  void HandleOverflow(Node* node, std::vector<Node*>& path,
+                      bool allow_reinsert);
+  void SplitNode(Node* node, std::vector<Node*>& path);
+
+  RTreeOptions options_;
+  const core::Dataset* data_ = nullptr;
+  size_t dims_ = 0;
+  double scale_ = 1.0;  // sqrt(points per segment)
+  std::vector<double> points_;  // scaled PAA point per series
+  std::unique_ptr<Node> root_;
+  int height_ = 0;  // leaf level = 0
+  std::unique_ptr<io::CountedStorage> raw_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_RTREE_H_

@@ -1,0 +1,373 @@
+#include "index/sfatrie.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/distance.h"
+#include "transform/dft.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hydra::index {
+
+struct SfaTrie::Node {
+  // The word prefix this node covers has length `depth`; children are keyed
+  // by the symbol at position `depth`.
+  int depth = 0;
+  bool is_leaf = true;
+  std::vector<std::unique_ptr<Node>> children;  // alphabet slots (internal)
+  std::vector<core::SeriesId> ids;              // leaf only
+  // MBR of member DFT vectors (tight lower bound, "DFT MBRs").
+  std::vector<double> mbr_min;
+  std::vector<double> mbr_max;
+  size_t count = 0;
+};
+
+SfaTrie::SfaTrie(SfaTrieOptions options) : options_(options) {}
+SfaTrie::~SfaTrie() = default;
+
+core::BuildStats SfaTrie::Build(const core::Dataset& data) {
+  util::WallTimer timer;
+  data_ = &data;
+  const size_t dims =
+      std::min(options_.word_length,
+               transform::MaxPackedCoeffs(data.length(), /*skip_dc=*/true));
+
+  // DFT summaries for every series (one sequential pass), then MCB training
+  // on a sample (the original uses sampling; at our scale "all" is cheap).
+  dfts_.resize(data.size() * dims);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto dft = transform::PackedRealDft(data[i], dims, /*skip_dc=*/true);
+    std::copy(dft.begin(), dft.end(), dfts_.begin() + i * dims);
+  }
+  const size_t sample =
+      options_.sample_size == 0
+          ? data.size()
+          : std::min(options_.sample_size, data.size());
+  std::vector<std::vector<double>> sample_dfts(sample);
+  for (size_t i = 0; i < sample; ++i) {
+    // Strided sampling covers the whole collection.
+    const size_t idx = i * data.size() / sample;
+    sample_dfts[i].assign(dfts_.begin() + idx * dims,
+                          dfts_.begin() + (idx + 1) * dims);
+  }
+  quantizer_ =
+      transform::SfaQuantizer::Train(sample_dfts, options_.alphabet,
+                                     options_.binning);
+
+  words_.resize(data.size() * dims);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto word = quantizer_.Quantize(
+        std::span<const double>(dfts_.data() + i * dims, dims));
+    std::copy(word.begin(), word.end(), words_.begin() + i * dims);
+  }
+
+  root_ = std::make_unique<Node>();
+  root_->mbr_min.assign(dims, std::numeric_limits<double>::infinity());
+  root_->mbr_max.assign(dims, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Insert(static_cast<core::SeriesId>(i), root_.get());
+  }
+
+  core::BuildStats stats;
+  stats.cpu_seconds = timer.Seconds();
+  stats.bytes_read = static_cast<int64_t>(data.bytes());
+  stats.random_reads = 1;
+  stats.bytes_written = static_cast<int64_t>(data.bytes());
+  stats.random_writes = footprint().leaf_nodes;
+  return stats;
+}
+
+void SfaTrie::Insert(core::SeriesId id, Node* node) {
+  const size_t dims = quantizer_.dims();
+  const double* dft = dfts_.data() + static_cast<size_t>(id) * dims;
+  const uint8_t* word = words_.data() + static_cast<size_t>(id) * dims;
+  while (true) {
+    for (size_t d = 0; d < dims; ++d) {
+      node->mbr_min[d] = std::min(node->mbr_min[d], dft[d]);
+      node->mbr_max[d] = std::max(node->mbr_max[d], dft[d]);
+    }
+    ++node->count;
+    if (node->is_leaf) break;
+    std::unique_ptr<Node>& slot = node->children[word[node->depth]];
+    if (slot == nullptr) {
+      slot = std::make_unique<Node>();
+      slot->depth = node->depth + 1;
+      slot->mbr_min.assign(dims, std::numeric_limits<double>::infinity());
+      slot->mbr_max.assign(dims, -std::numeric_limits<double>::infinity());
+    }
+    node = slot.get();
+  }
+  node->ids.push_back(id);
+  if (node->ids.size() > options_.leaf_capacity &&
+      static_cast<size_t>(node->depth) < dims) {
+    SplitLeaf(node);
+  }
+}
+
+void SfaTrie::SplitLeaf(Node* leaf) {
+  const size_t dims = quantizer_.dims();
+  leaf->is_leaf = false;
+  leaf->children.resize(static_cast<size_t>(options_.alphabet));
+  std::vector<core::SeriesId> ids = std::move(leaf->ids);
+  leaf->ids.clear();
+  for (const core::SeriesId id : ids) {
+    const uint8_t sym =
+        words_[static_cast<size_t>(id) * dims + leaf->depth];
+    std::unique_ptr<Node>& slot = leaf->children[sym];
+    if (slot == nullptr) {
+      slot = std::make_unique<Node>();
+      slot->depth = leaf->depth + 1;
+      slot->mbr_min.assign(dims, std::numeric_limits<double>::infinity());
+      slot->mbr_max.assign(dims, -std::numeric_limits<double>::infinity());
+    }
+    Node* child = slot.get();
+    const double* dft = dfts_.data() + static_cast<size_t>(id) * dims;
+    for (size_t d = 0; d < dims; ++d) {
+      child->mbr_min[d] = std::min(child->mbr_min[d], dft[d]);
+      child->mbr_max[d] = std::max(child->mbr_max[d], dft[d]);
+    }
+    ++child->count;
+    child->ids.push_back(id);
+  }
+  for (auto& slot : leaf->children) {
+    if (slot != nullptr && slot->ids.size() > options_.leaf_capacity &&
+        static_cast<size_t>(slot->depth) < dims) {
+      SplitLeaf(slot.get());
+    }
+  }
+}
+
+double SfaTrie::NodeLowerBound(std::span<const double> q_dft,
+                               const Node& node) const {
+  // Distance from the query's DFT vector to the node MBR: valid because the
+  // packed DFT is orthonormal and truncated.
+  double acc = 0.0;
+  for (size_t d = 0; d < q_dft.size(); ++d) {
+    double dist = 0.0;
+    if (q_dft[d] < node.mbr_min[d]) {
+      dist = node.mbr_min[d] - q_dft[d];
+    } else if (q_dft[d] > node.mbr_max[d]) {
+      dist = q_dft[d] - node.mbr_max[d];
+    }
+    acc += dist * dist;
+  }
+  return acc;
+}
+
+void SfaTrie::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
+                        core::KnnHeap* heap,
+                        core::SearchStats* stats) const {
+  if (leaf.ids.empty()) return;
+  io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
+                     stats);
+  for (const core::SeriesId id : leaf.ids) {
+    const double d = order.Distance((*data_)[id], heap->Bound());
+    ++stats->distance_computations;
+    ++stats->raw_series_examined;
+    heap->Offer(id, d);
+  }
+}
+
+core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
+  HYDRA_CHECK(root_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const size_t dims = quantizer_.dims();
+  const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
+  const auto q_word = quantizer_.Quantize(q_dft);
+
+  // ng-approximate descent along the query's word.
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    Node* next = node->children[q_word[node->depth]].get();
+    if (next == nullptr) break;  // empty slot: stop early
+    node = next;
+  }
+  const Node* home = node->is_leaf ? node : nullptr;
+  if (home != nullptr) {
+    ++result.stats.nodes_visited;
+    VisitLeaf(*home, order, &heap, &result.stats);
+  }
+
+  // Exact best-first traversal with the MBR lower bound.
+  struct Item {
+    double lb;
+    const Node* node;
+    bool operator<(const Item& other) const {
+      return lb > other.lb;
+    }
+  };
+  std::priority_queue<Item> pq;
+  pq.push({0.0, root_.get()});
+  while (!pq.empty()) {
+    const Item item = pq.top();
+    pq.pop();
+    if (item.lb >= heap.Bound()) break;
+    ++result.stats.nodes_visited;
+    if (item.node->is_leaf) {
+      if (item.node != home) {
+        VisitLeaf(*item.node, order, &heap, &result.stats);
+      }
+      continue;
+    }
+    for (const auto& slot : item.node->children) {
+      if (slot == nullptr || slot->count == 0) continue;
+      const double lb = NodeLowerBound(q_dft, *slot);
+      ++result.stats.lower_bound_computations;
+      if (lb < heap.Bound()) pq.push({lb, slot.get()});
+    }
+  }
+
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::RangeResult SfaTrie::SearchRange(core::SeriesView query,
+                                       double radius) {
+  HYDRA_CHECK(root_ != nullptr);
+  util::WallTimer timer;
+  core::RangeResult result;
+  core::RangeCollector collector(radius * radius);
+  const core::QueryOrder order(query);
+  const size_t dims = quantizer_.dims();
+  const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
+
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->count == 0) continue;
+    ++result.stats.lower_bound_computations;
+    if (NodeLowerBound(q_dft, *node) > collector.Bound()) continue;
+    ++result.stats.nodes_visited;
+    if (node->is_leaf) {
+      io::ChargeLeafRead(node->ids.size(),
+                         data_->length() * sizeof(core::Value),
+                         &result.stats);
+      for (const core::SeriesId id : node->ids) {
+        const double d = order.Distance((*data_)[id], collector.Bound());
+        ++result.stats.distance_computations;
+        ++result.stats.raw_series_examined;
+        collector.Offer(id, d);
+      }
+      continue;
+    }
+    for (const auto& slot : node->children) {
+      if (slot != nullptr) stack.push_back(slot.get());
+    }
+  }
+
+  result.matches = collector.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::KnnResult SfaTrie::SearchKnnApproximate(core::SeriesView query,
+                                              size_t k) {
+  HYDRA_CHECK(root_ != nullptr);
+  util::WallTimer timer;
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  const size_t dims = quantizer_.dims();
+  const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
+  const auto q_word = quantizer_.Quantize(q_dft);
+
+  // One path along the query's word; if the path dead-ends before a leaf,
+  // take the child with the smallest MBR lower bound.
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    Node* next = node->children[q_word[node->depth]].get();
+    if (next == nullptr) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& slot : node->children) {
+        if (slot == nullptr || slot->count == 0) continue;
+        const double lb = NodeLowerBound(q_dft, *slot);
+        if (lb < best) {
+          best = lb;
+          next = slot.get();
+        }
+      }
+      if (next == nullptr) break;
+    }
+    node = next;
+  }
+  if (node->is_leaf) {
+    ++result.stats.nodes_visited;
+    VisitLeaf(*node, order, &heap, &result.stats);
+  }
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::Footprint SfaTrie::footprint() const {
+  HYDRA_CHECK(root_ != nullptr);
+  core::Footprint fp;
+  const size_t dims = quantizer_.dims();
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++fp.total_nodes;
+    fp.memory_bytes +=
+        static_cast<int64_t>(sizeof(Node) + 2 * dims * sizeof(double));
+    if (n->is_leaf) {
+      ++fp.leaf_nodes;
+      fp.memory_bytes +=
+          static_cast<int64_t>(n->ids.size() * sizeof(core::SeriesId));
+      fp.leaf_fill_fractions.push_back(
+          static_cast<double>(n->ids.size()) /
+          static_cast<double>(options_.leaf_capacity));
+      fp.leaf_depths.push_back(n->depth);
+    } else {
+      for (const auto& slot : n->children) {
+        if (slot != nullptr) stack.push_back(slot.get());
+      }
+    }
+  }
+  fp.memory_bytes += static_cast<int64_t>(quantizer_.MemoryBytes() +
+                                          words_.size() * sizeof(uint8_t));
+  fp.disk_bytes = static_cast<int64_t>(data_->bytes());  // leaf files
+  return fp;
+}
+
+double SfaTrie::MeanTlb(core::SeriesView query) const {
+  HYDRA_CHECK(root_ != nullptr);
+  const size_t dims = quantizer_.dims();
+  const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
+  double sum = 0.0;
+  int64_t leaves = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!n->is_leaf) {
+      for (const auto& slot : n->children) {
+        if (slot != nullptr) stack.push_back(slot.get());
+      }
+      continue;
+    }
+    if (n->ids.empty()) continue;
+    // The tight SFA bound (DFT MBRs), the variant the paper evaluates.
+    const double lb_sq = NodeLowerBound(q_dft, *n);
+    double true_sum = 0.0;
+    for (const core::SeriesId id : n->ids) {
+      true_sum += std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
+    }
+    const double mean_true = true_sum / static_cast<double>(n->ids.size());
+    if (mean_true > 0.0) {
+      sum += std::sqrt(lb_sq) / mean_true;
+      ++leaves;
+    }
+  }
+  return leaves == 0 ? 0.0 : sum / static_cast<double>(leaves);
+}
+
+}  // namespace hydra::index

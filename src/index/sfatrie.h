@@ -1,0 +1,63 @@
+// SFA trie: a prefix tree over Symbolic Fourier Approximation words with
+// per-node DFT MBRs for the tight lower bound (Schaefer & Hoegqvist).
+#ifndef HYDRA_INDEX_SFATRIE_H_
+#define HYDRA_INDEX_SFATRIE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/method.h"
+#include "io/counted_storage.h"
+#include "transform/sfa.h"
+
+namespace hydra::index {
+
+/// Options for the SFA trie. The paper's tuned configuration: word length
+/// 16, alphabet 8, equi-depth binning.
+struct SfaTrieOptions {
+  size_t word_length = 16;
+  int alphabet = 8;
+  transform::SfaQuantizer::Binning binning =
+      transform::SfaQuantizer::Binning::kEquiDepth;
+  size_t leaf_capacity = 1000;
+  /// Number of series sampled to learn the MCB breakpoints (0 = all).
+  size_t sample_size = 0;
+};
+
+/// Exact whole-matching k-NN via the SFA trie.
+class SfaTrie : public core::SearchMethod {
+ public:
+  explicit SfaTrie(SfaTrieOptions options = {});
+  ~SfaTrie() override;
+
+  std::string name() const override { return "SFA"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+  core::KnnResult SearchKnnApproximate(core::SeriesView query,
+                                       size_t k) override;
+  core::Footprint footprint() const override;
+  double MeanTlb(core::SeriesView query) const override;
+
+ private:
+  struct Node;
+
+  void Insert(core::SeriesId id, Node* node);
+  void SplitLeaf(Node* leaf);
+  void VisitLeaf(const Node& leaf, const core::QueryOrder& order,
+                 core::KnnHeap* heap, core::SearchStats* stats) const;
+  double NodeLowerBound(std::span<const double> q_dft, const Node& node) const;
+
+  SfaTrieOptions options_;
+  const core::Dataset* data_ = nullptr;
+  transform::SfaQuantizer quantizer_;
+  std::vector<double> dfts_;     // flat word_length doubles per series
+  std::vector<uint8_t> words_;   // flat word_length symbols per series
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace hydra::index
+
+#endif  // HYDRA_INDEX_SFATRIE_H_

@@ -1,0 +1,58 @@
+// Instrumented access to the simulated raw data file. The paper's datasets
+// live on disk; ours live in memory but every access is charged to the
+// SearchStats ledger with the paper's sequential/random semantics, so access
+// patterns (and hence modeled I/O times) are faithful.
+#ifndef HYDRA_IO_COUNTED_STORAGE_H_
+#define HYDRA_IO_COUNTED_STORAGE_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/search_stats.h"
+#include "core/types.h"
+
+namespace hydra::io {
+
+/// Cursor-tracking reader over the raw data file (the Dataset).
+///
+/// A read of series i is sequential when it directly follows a read of
+/// series i-1; otherwise it costs one random seek plus the read itself.
+/// This reproduces the paper's skip-sequential accounting for ADS+ and
+/// VA+file: every skip is one random access.
+class CountedStorage {
+ public:
+  explicit CountedStorage(const core::Dataset* data);
+
+  /// Reads series `i`, charging the access to `stats`.
+  core::SeriesView Read(core::SeriesId i, core::SearchStats* stats);
+
+  /// Forgets the cursor position (e.g., between build and query phases).
+  void ResetCursor() { cursor_ = kNoCursor; }
+
+  const core::Dataset& data() const { return *data_; }
+  size_t series_bytes() const { return data_->length() * sizeof(core::Value); }
+
+ private:
+  static constexpr int64_t kNoCursor = -2;
+
+  const core::Dataset* data_;
+  int64_t cursor_ = kNoCursor;
+};
+
+/// Charges the read of one index leaf holding `series_count` series of
+/// `series_bytes` bytes each: one random access (the paper's definition of
+/// a random disk access for tree indexes) plus contiguous reads.
+void ChargeLeafRead(size_t series_count, size_t series_bytes,
+                    core::SearchStats* stats);
+
+/// Charges a purely sequential scan segment of `series_count` series (no
+/// initial seek; use ChargeScanStart for the first access of a pass).
+void ChargeSequentialRead(size_t series_count, size_t series_bytes,
+                          core::SearchStats* stats);
+
+/// Charges the initial seek of a sequential pass over a file.
+void ChargeScanStart(core::SearchStats* stats);
+
+}  // namespace hydra::io
+
+#endif  // HYDRA_IO_COUNTED_STORAGE_H_

@@ -1,0 +1,20 @@
+#include "io/disk_model.h"
+
+namespace hydra::io {
+
+double DiskModel::IoSeconds(int64_t bytes, int64_t seeks) const {
+  const double transfer =
+      static_cast<double>(bytes) / (seq_mb_per_s * 1024.0 * 1024.0);
+  return transfer + static_cast<double>(seeks) * seek_seconds;
+}
+
+double DiskModel::QueryIoSeconds(const core::SearchStats& stats) const {
+  return IoSeconds(stats.bytes_read, stats.random_seeks);
+}
+
+double DiskModel::BuildIoSeconds(const core::BuildStats& stats) const {
+  return IoSeconds(stats.bytes_written + stats.bytes_read,
+                   stats.random_writes + stats.random_reads);
+}
+
+}  // namespace hydra::io

@@ -1,0 +1,64 @@
+// Storage cost models: convert the I/O ledger into estimated input/output
+// seconds for the paper's two platforms (HDD and SSD servers).
+#ifndef HYDRA_IO_DISK_MODEL_H_
+#define HYDRA_IO_DISK_MODEL_H_
+
+#include <string>
+
+#include "core/search_stats.h"
+
+namespace hydra::io {
+
+/// Throughput + seek-latency disk model.
+///
+/// The paper's HDD server has a 6-disk RAID0 with 1290 MB/s sequential
+/// throughput but 10K-RPM seek latency; its SSD server has only 330 MB/s
+/// throughput but near-free random access. These two regimes invert the
+/// ranking of skip-sequential methods (ADS+, VA+file) versus
+/// cluster-then-scan methods (DSTree) and plain scans (UCR Suite),
+/// which is the central hardware finding of the paper.
+struct DiskModel {
+  std::string name;
+  double seq_mb_per_s = 0.0;
+  double seek_seconds = 0.0;
+
+  /// The paper's HDD platform (Section 4.1).
+  static DiskModel Hdd() { return {"HDD", 1290.0, 7.5e-3}; }
+  /// The paper's SSD platform.
+  static DiskModel Ssd() { return {"SSD", 330.0, 6.0e-5}; }
+  /// An in-memory "device" (I/O is free); useful for ablations.
+  static DiskModel Memory() { return {"MEM", 1e9, 0.0}; }
+
+  /// The HDD platform with the seek latency rescaled for laptop-scale
+  /// collections. On the paper's 100GB-1TB datasets a full scan costs
+  /// minutes, the same order as the 10^3-10^5 seeks the skip-sequential
+  /// methods issue; on our MB-scale collections the scan becomes nearly
+  /// free while seeks keep their full price, which would make the
+  /// sequential scan win everything. Scaling the seek keeps the paper's
+  /// seek-vs-scan balance, so crossovers land where the paper's do.
+  /// The bench binaries use this model and say so in their output.
+  static DiskModel ScaledHdd() { return {"HDD(scaled)", 1290.0, 3.0e-4}; }
+
+  /// Estimated seconds to transfer `bytes` with `seeks` random accesses.
+  double IoSeconds(int64_t bytes, int64_t seeks) const;
+
+  /// Estimated input time of a query.
+  double QueryIoSeconds(const core::SearchStats& stats) const;
+
+  /// Estimated output(+input) time of index construction.
+  double BuildIoSeconds(const core::BuildStats& stats) const;
+
+  /// Total estimated time (CPU + modeled I/O) of a query.
+  double QueryTotalSeconds(const core::SearchStats& stats) const {
+    return stats.cpu_seconds + QueryIoSeconds(stats);
+  }
+
+  /// Total estimated time (CPU + modeled I/O) of index construction.
+  double BuildTotalSeconds(const core::BuildStats& stats) const {
+    return stats.cpu_seconds + BuildIoSeconds(stats);
+  }
+};
+
+}  // namespace hydra::io
+
+#endif  // HYDRA_IO_DISK_MODEL_H_

@@ -1,0 +1,67 @@
+#include "io/series_file.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace hydra::io {
+namespace {
+
+constexpr uint64_t kMagic = 0x485944524153ULL;  // "HYDRAS"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+util::Status WriteSeriesFile(const std::string& path,
+                             const core::Dataset& data) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return util::Status::Error("cannot open for write: " + path);
+  const uint64_t header[3] = {kMagic, data.size(), data.length()};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return util::Status::Error("header write failed: " + path);
+  }
+  const auto values = data.values();
+  if (!values.empty() &&
+      std::fwrite(values.data(), sizeof(core::Value), values.size(),
+                  f.get()) != values.size()) {
+    return util::Status::Error("value write failed: " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<core::Dataset> ReadSeriesFile(const std::string& path,
+                                           const std::string& name) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return util::Status::Error("cannot open for read: " + path);
+  uint64_t header[3] = {0, 0, 0};
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) {
+    return util::Status::Error("header read failed: " + path);
+  }
+  if (header[0] != kMagic) {
+    return util::Status::Error("bad magic (not a Hydra series file): " + path);
+  }
+  const size_t count = header[1];
+  const size_t length = header[2];
+  if (length == 0) return util::Status::Error("zero series length: " + path);
+  core::Dataset data(name, length);
+  data.Reserve(count);
+  std::vector<core::Value> row(length);
+  for (size_t i = 0; i < count; ++i) {
+    if (std::fread(row.data(), sizeof(core::Value), length, f.get()) !=
+        length) {
+      return util::Status::Error("truncated series file: " + path);
+    }
+    data.Append(row);
+  }
+  return data;
+}
+
+}  // namespace hydra::io

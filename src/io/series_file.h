@@ -1,0 +1,23 @@
+// Binary persistence for datasets (the raw data files of the framework).
+#ifndef HYDRA_IO_SERIES_FILE_H_
+#define HYDRA_IO_SERIES_FILE_H_
+
+#include <string>
+
+#include "core/dataset.h"
+#include "util/status.h"
+
+namespace hydra::io {
+
+/// Writes `data` as a binary series file: a 24-byte header (magic, series
+/// count, series length) followed by series-major float32 values.
+util::Status WriteSeriesFile(const std::string& path,
+                             const core::Dataset& data);
+
+/// Reads a binary series file written by WriteSeriesFile.
+util::Result<core::Dataset> ReadSeriesFile(const std::string& path,
+                                           const std::string& name = "file");
+
+}  // namespace hydra::io
+
+#endif  // HYDRA_IO_SERIES_FILE_H_

@@ -1,0 +1,37 @@
+// MASS adapted to exact whole matching: distances via FFT dot products
+// (ED^2 = |Q|^2 + |C|^2 - 2 Q.C). Deliberately CPU-heavy, as the paper
+// reports for this adaptation.
+#ifndef HYDRA_SCAN_MASS_SCAN_H_
+#define HYDRA_SCAN_MASS_SCAN_H_
+
+#include <complex>
+#include <vector>
+
+#include "core/method.h"
+#include "io/counted_storage.h"
+
+namespace hydra::scan {
+
+/// Exact whole-matching scan computing each distance through the Fourier
+/// domain, following the paper's MASS adaptation (Section 3.2).
+class MassScan : public core::SearchMethod {
+ public:
+  std::string name() const override { return "MASS"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+
+ private:
+  /// Computes all Fourier-domain distances, feeding each into `offer`.
+  template <typename Offer>
+  core::SearchStats ScanAll(core::SeriesView query, Offer&& offer);
+
+ private:
+  const core::Dataset* data_ = nullptr;
+  std::vector<double> norms_sq_;  // per-series squared L2 norm, precomputed
+};
+
+}  // namespace hydra::scan
+
+#endif  // HYDRA_SCAN_MASS_SCAN_H_

@@ -1,0 +1,59 @@
+#include "scan/ucr_scan.h"
+
+#include "core/distance.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace hydra::scan {
+
+core::BuildStats UcrScan::Build(const core::Dataset& data) {
+  data_ = &data;
+  return core::BuildStats{};  // no preprocessing
+}
+
+core::KnnResult UcrScan::SearchKnn(core::SeriesView query, size_t k) {
+  HYDRA_CHECK(data_ != nullptr);
+  HYDRA_CHECK(query.size() == data_->length());
+  util::WallTimer timer;
+
+  core::KnnResult result;
+  core::KnnHeap heap(k);
+  const core::QueryOrder order(query);
+  io::ChargeScanStart(&result.stats);
+  io::ChargeSequentialRead(data_->size(), data_->length() * sizeof(core::Value),
+                           &result.stats);
+  for (size_t i = 0; i < data_->size(); ++i) {
+    const double d = order.Distance((*data_)[i], heap.Bound());
+    ++result.stats.distance_computations;
+    heap.Offer(static_cast<core::SeriesId>(i), d);
+  }
+  result.stats.raw_series_examined = static_cast<int64_t>(data_->size());
+  result.neighbors = heap.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+core::RangeResult UcrScan::SearchRange(core::SeriesView query,
+                                       double radius) {
+  HYDRA_CHECK(data_ != nullptr);
+  HYDRA_CHECK(query.size() == data_->length());
+  util::WallTimer timer;
+
+  core::RangeResult result;
+  core::RangeCollector collector(radius * radius);
+  const core::QueryOrder order(query);
+  io::ChargeScanStart(&result.stats);
+  io::ChargeSequentialRead(data_->size(), data_->length() * sizeof(core::Value),
+                           &result.stats);
+  for (size_t i = 0; i < data_->size(); ++i) {
+    const double d = order.Distance((*data_)[i], collector.Bound());
+    ++result.stats.distance_computations;
+    collector.Offer(static_cast<core::SeriesId>(i), d);
+  }
+  result.stats.raw_series_examined = static_cast<int64_t>(data_->size());
+  result.matches = collector.TakeSorted();
+  result.stats.cpu_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace hydra::scan

@@ -1,0 +1,28 @@
+// UCR Suite adapted to exact whole matching: optimized sequential scan with
+// squared distances, early abandoning, and reordered early abandoning
+// (the paper's baseline, Section 3.2).
+#ifndef HYDRA_SCAN_UCR_SCAN_H_
+#define HYDRA_SCAN_UCR_SCAN_H_
+
+#include "core/method.h"
+#include "io/counted_storage.h"
+
+namespace hydra::scan {
+
+/// Exact whole-matching sequential scan. No index: Build only records the
+/// dataset; every query reads the entire raw file sequentially.
+class UcrScan : public core::SearchMethod {
+ public:
+  std::string name() const override { return "UCR-Suite"; }
+  core::BuildStats Build(const core::Dataset& data) override;
+  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
+  core::RangeResult SearchRange(core::SeriesView query,
+                                double radius) override;
+
+ private:
+  const core::Dataset* data_ = nullptr;
+};
+
+}  // namespace hydra::scan
+
+#endif  // HYDRA_SCAN_UCR_SCAN_H_

@@ -1,0 +1,43 @@
+#include "transform/dft.h"
+
+#include <cmath>
+#include <complex>
+
+#include "transform/fft.h"
+#include "util/check.h"
+
+namespace hydra::transform {
+
+size_t MaxPackedCoeffs(size_t n, bool skip_dc) {
+  return skip_dc ? n - 1 : n;
+}
+
+std::vector<double> PackedRealDft(core::SeriesView x, size_t num_coeffs,
+                                  bool skip_dc) {
+  const size_t n = x.size();
+  HYDRA_CHECK(n >= 2);
+  std::vector<std::complex<double>> freq(n);
+  for (size_t i = 0; i < n; ++i) freq[i] = std::complex<double>(x[i], 0.0);
+  Fft(&freq, /*inverse=*/false);
+
+  const double unit = 1.0 / std::sqrt(static_cast<double>(n));
+  const double paired = unit * std::sqrt(2.0);
+  std::vector<double> packed;
+  packed.reserve(MaxPackedCoeffs(n, skip_dc));
+  if (!skip_dc) packed.push_back(freq[0].real() * unit);
+  const size_t half = n / 2;
+  for (size_t k = 1; k < half + (n % 2 == 1 ? 1 : 0); ++k) {
+    packed.push_back(freq[k].real() * paired);
+    packed.push_back(freq[k].imag() * paired);
+  }
+  if (n % 2 == 0) {
+    // The Nyquist coefficient of an even-length real series is real-valued
+    // and unpaired.
+    packed.push_back(freq[half].real() * unit);
+  }
+  HYDRA_DCHECK(packed.size() == MaxPackedCoeffs(n, skip_dc));
+  if (packed.size() > num_coeffs) packed.resize(num_coeffs);
+  return packed;
+}
+
+}  // namespace hydra::transform

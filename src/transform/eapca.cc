@@ -1,0 +1,105 @@
+#include "transform/eapca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hydra::transform {
+
+Segmentation Segmentation::Uniform(size_t n, size_t segments) {
+  HYDRA_CHECK(segments >= 1 && segments <= n);
+  Segmentation seg;
+  seg.ends.resize(segments);
+  for (size_t s = 0; s < segments; ++s) {
+    seg.ends[s] = static_cast<uint32_t>((s + 1) * n / segments);
+  }
+  return seg;
+}
+
+std::vector<SegmentStats> ComputeEapca(core::SeriesView x,
+                                       const Segmentation& seg) {
+  HYDRA_DCHECK(!seg.ends.empty() && seg.ends.back() == x.size());
+  std::vector<SegmentStats> out(seg.segments());
+  for (size_t s = 0; s < seg.segments(); ++s) {
+    const uint32_t b = seg.begin_of(s);
+    const uint32_t e = seg.ends[s];
+    const double len = static_cast<double>(e - b);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (uint32_t i = b; i < e; ++i) {
+      sum += x[i];
+      sum_sq += static_cast<double>(x[i]) * x[i];
+    }
+    const double mean = sum / len;
+    const double var = std::max(0.0, sum_sq / len - mean * mean);
+    out[s] = {mean, std::sqrt(var)};
+  }
+  return out;
+}
+
+void SegmentRange::Extend(const SegmentStats& s, bool first) {
+  if (first) {
+    min_mean = max_mean = s.mean;
+    min_std = max_std = s.stddev;
+    return;
+  }
+  min_mean = std::min(min_mean, s.mean);
+  max_mean = std::max(max_mean, s.mean);
+  min_std = std::min(min_std, s.stddev);
+  max_std = std::max(max_std, s.stddev);
+}
+
+double EapcaPointLbSq(std::span<const SegmentStats> a,
+                      std::span<const SegmentStats> b,
+                      const Segmentation& seg) {
+  HYDRA_DCHECK(a.size() == b.size() && a.size() == seg.segments());
+  double acc = 0.0;
+  for (size_t s = 0; s < a.size(); ++s) {
+    const double dm = a[s].mean - b[s].mean;
+    const double ds = a[s].stddev - b[s].stddev;
+    acc += static_cast<double>(seg.length_of(s)) * (dm * dm + ds * ds);
+  }
+  return acc;
+}
+
+namespace {
+
+double DistToInterval(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+}  // namespace
+
+double EapcaNodeLbSq(std::span<const SegmentStats> q,
+                     std::span<const SegmentRange> node,
+                     const Segmentation& seg) {
+  HYDRA_DCHECK(q.size() == node.size() && q.size() == seg.segments());
+  double acc = 0.0;
+  for (size_t s = 0; s < q.size(); ++s) {
+    const double dm =
+        DistToInterval(q[s].mean, node[s].min_mean, node[s].max_mean);
+    const double ds =
+        DistToInterval(q[s].stddev, node[s].min_std, node[s].max_std);
+    acc += static_cast<double>(seg.length_of(s)) * (dm * dm + ds * ds);
+  }
+  return acc;
+}
+
+double EapcaNodeUbSq(std::span<const SegmentStats> q,
+                     std::span<const SegmentRange> node,
+                     const Segmentation& seg) {
+  HYDRA_DCHECK(q.size() == node.size() && q.size() == seg.segments());
+  double acc = 0.0;
+  for (size_t s = 0; s < q.size(); ++s) {
+    const double dm = std::max(std::fabs(q[s].mean - node[s].min_mean),
+                               std::fabs(q[s].mean - node[s].max_mean));
+    const double ds = q[s].stddev + node[s].max_std;
+    acc += static_cast<double>(seg.length_of(s)) * (dm * dm + ds * ds);
+  }
+  return acc;
+}
+
+}  // namespace hydra::transform

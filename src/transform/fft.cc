@@ -1,0 +1,97 @@
+#include "transform/fft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hydra::transform {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Iterative Cooley-Tukey radix-2 FFT; n must be a power of two.
+void Radix2Fft(std::vector<Complex>* data, bool inverse) {
+  std::vector<Complex>& a = *data;
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z algorithm: expresses a DFT of arbitrary size n as a
+// convolution, evaluated with a radix-2 FFT of size >= 2n-1.
+void BluesteinFft(std::vector<Complex>* data, bool inverse) {
+  std::vector<Complex>& a = *data;
+  const size_t n = a.size();
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // e^{sign * i * pi * k^2 / n}; reduce k^2 mod 2n to keep precision.
+    const size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * M_PI * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> x(m, Complex(0.0, 0.0));
+  std::vector<Complex> y(m, Complex(0.0, 0.0));
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    y[k] = std::conj(chirp[k]);
+    y[m - k] = std::conj(chirp[k]);
+  }
+
+  Radix2Fft(&x, /*inverse=*/false);
+  Radix2Fft(&y, /*inverse=*/false);
+  for (size_t k = 0; k < m; ++k) x[k] *= y[k];
+  Radix2Fft(&x, /*inverse=*/true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) a[k] = x[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>* a, bool inverse) {
+  HYDRA_CHECK(a != nullptr);
+  const size_t n = a->size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    Radix2Fft(a, inverse);
+  } else {
+    BluesteinFft(a, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : *a) v *= inv_n;
+  }
+}
+
+}  // namespace hydra::transform

@@ -1,0 +1,50 @@
+#include "transform/haar.h"
+
+#include <cmath>
+
+#include "transform/fft.h"
+#include "util/check.h"
+
+namespace hydra::transform {
+
+std::vector<double> HaarTransform(core::SeriesView x) {
+  const size_t m = NextPowerOfTwo(x.size());
+  std::vector<double> buf(m, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
+
+  std::vector<double> out(m, 0.0);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  // Repeated orthonormal averaging/differencing. After processing width w,
+  // buf[0..w/2) holds averages and details go to the output slots for that
+  // level (coarse-to-fine layout).
+  std::vector<double> details;
+  size_t width = m;
+  std::vector<std::vector<double>> levels;  // fine-to-coarse detail blocks
+  while (width > 1) {
+    std::vector<double> level(width / 2);
+    for (size_t i = 0; i < width / 2; ++i) {
+      const double a = buf[2 * i];
+      const double b = buf[2 * i + 1];
+      level[i] = (a - b) * inv_sqrt2;
+      buf[i] = (a + b) * inv_sqrt2;
+    }
+    levels.push_back(std::move(level));
+    width /= 2;
+  }
+  out[0] = buf[0];  // scaling coefficient
+  size_t pos = 1;
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    for (double d : *it) out[pos++] = d;
+  }
+  HYDRA_DCHECK(pos == m);
+  return out;
+}
+
+std::vector<size_t> HaarLevelBoundaries(size_t padded_length) {
+  HYDRA_CHECK(IsPowerOfTwo(padded_length));
+  std::vector<size_t> bounds;
+  for (size_t b = 1; b <= padded_length; b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace hydra::transform

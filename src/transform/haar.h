@@ -1,0 +1,27 @@
+// Discrete Haar Wavelet Transform (DHWT), orthonormal, used by Stepwise.
+#ifndef HYDRA_TRANSFORM_HAAR_H_
+#define HYDRA_TRANSFORM_HAAR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace hydra::transform {
+
+/// Orthonormal Haar transform of `x`. If the length is not a power of two
+/// the series is zero-padded (distances are unaffected). The output is
+/// ordered coarse-to-fine: [scaling coefficient, level-1 detail, level-2
+/// details (2), level-3 details (4), ...]; Euclidean distances between
+/// transforms equal distances between (padded) originals exactly.
+std::vector<double> HaarTransform(core::SeriesView x);
+
+/// Exclusive prefix boundaries of the coarse-to-fine levels for a transform
+/// of `padded_length` coefficients: {1, 2, 4, 8, ..., padded_length}.
+/// Level L spans coefficients [boundaries[L-1], boundaries[L]) with
+/// boundaries[-1] taken as 0.
+std::vector<size_t> HaarLevelBoundaries(size_t padded_length);
+
+}  // namespace hydra::transform
+
+#endif  // HYDRA_TRANSFORM_HAAR_H_

@@ -1,0 +1,67 @@
+#include "transform/isax.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace hydra::transform {
+
+std::string IsaxWord::DebugString() const {
+  std::string out;
+  char buf[16];
+  for (size_t s = 0; s < symbols.size(); ++s) {
+    std::snprintf(buf, sizeof(buf), "%s%d@%d", s == 0 ? "" : " ", symbols[s],
+                  bits[s]);
+    out += buf;
+  }
+  return out;
+}
+
+IsaxWord FullResolutionWord(std::span<const double> paa) {
+  IsaxWord w;
+  w.symbols.resize(paa.size());
+  w.bits.assign(paa.size(), static_cast<uint8_t>(kMaxSaxBits));
+  for (size_t s = 0; s < paa.size(); ++s) {
+    w.symbols[s] = SaxSymbol(paa[s], kMaxSaxBits);
+  }
+  return w;
+}
+
+uint8_t ReduceSymbol(uint8_t full_symbol, int to_bits) {
+  HYDRA_DCHECK(to_bits >= 0 && to_bits <= kMaxSaxBits);
+  return static_cast<uint8_t>(full_symbol >> (kMaxSaxBits - to_bits));
+}
+
+bool WordCovers(const IsaxWord& node, const IsaxWord& full) {
+  HYDRA_DCHECK(node.segments() == full.segments());
+  for (size_t s = 0; s < node.segments(); ++s) {
+    HYDRA_DCHECK(full.bits[s] == kMaxSaxBits);
+    if (ReduceSymbol(full.symbols[s], node.bits[s]) != node.symbols[s]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double IsaxMinDistSq(std::span<const double> paa_q, const IsaxWord& w,
+                     size_t points_per_segment) {
+  HYDRA_DCHECK(paa_q.size() == w.segments());
+  const SaxBreakpoints& bp = SaxBreakpoints::Get();
+  double acc = 0.0;
+  for (size_t s = 0; s < w.segments(); ++s) {
+    if (w.bits[s] == 0) continue;  // whole-domain segment contributes 0
+    const double lo = bp.SymbolLower(w.symbols[s], w.bits[s]);
+    const double hi = bp.SymbolUpper(w.symbols[s], w.bits[s]);
+    const double q = paa_q[s];
+    double d = 0.0;
+    if (q < lo) {
+      d = lo - q;
+    } else if (q > hi) {
+      d = q - hi;
+    }
+    acc += d * d;
+  }
+  return acc * static_cast<double>(points_per_segment);
+}
+
+}  // namespace hydra::transform

@@ -1,0 +1,53 @@
+// Indexable SAX: per-segment symbols with independent cardinalities, the
+// representation behind iSAX2+ and ADS+.
+#ifndef HYDRA_TRANSFORM_ISAX_H_
+#define HYDRA_TRANSFORM_ISAX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "transform/sax.h"
+
+namespace hydra::transform {
+
+/// An iSAX word: one symbol per segment, each at its own resolution
+/// (0..kMaxSaxBits bits; 0 bits covers the whole value domain, as in an
+/// index root). A node word with fewer bits covers all full-resolution
+/// words sharing the same bit prefixes.
+struct IsaxWord {
+  std::vector<uint8_t> symbols;
+  std::vector<uint8_t> bits;
+
+  size_t segments() const { return symbols.size(); }
+
+  /// Parsable debug form, e.g. "3@2 0@1 7@3".
+  std::string DebugString() const;
+
+  friend bool operator==(const IsaxWord& a, const IsaxWord& b) {
+    return a.symbols == b.symbols && a.bits == b.bits;
+  }
+};
+
+/// Full-resolution (kMaxSaxBits per segment) word for a PAA vector.
+IsaxWord FullResolutionWord(std::span<const double> paa);
+
+/// Drops a full-resolution symbol to `to_bits` resolution (keeps the top
+/// bits; valid because Gaussian equi-depth breakpoints are nested).
+/// `to_bits` == 0 yields 0 (the whole-domain symbol).
+uint8_t ReduceSymbol(uint8_t full_symbol, int to_bits);
+
+/// True if `node` covers `full`: every segment of `full` reduced to the
+/// node's resolution equals the node's symbol.
+bool WordCovers(const IsaxWord& node, const IsaxWord& full);
+
+/// MINDIST^2: lower bound on the squared Euclidean distance between the
+/// original of `paa_q` (query PAA, `points_per_segment` points each) and any
+/// series whose iSAX word is covered by `w`.
+double IsaxMinDistSq(std::span<const double> paa_q, const IsaxWord& w,
+                     size_t points_per_segment);
+
+}  // namespace hydra::transform
+
+#endif  // HYDRA_TRANSFORM_ISAX_H_

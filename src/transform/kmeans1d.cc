@@ -1,0 +1,63 @@
+#include "transform/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hydra::transform {
+
+Kmeans1dResult Kmeans1d(std::span<const double> values, int k, int max_iters) {
+  HYDRA_CHECK(k >= 1);
+  HYDRA_CHECK(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+
+  // Quantile initialization (equi-depth), then Lloyd iterations. Sorted data
+  // makes assignment a matter of boundary positions.
+  std::vector<double> centroids(k);
+  for (int c = 0; c < k; ++c) {
+    const double q = (c + 0.5) / k;
+    centroids[c] = sorted[static_cast<size_t>(q * (n - 1))];
+  }
+  std::sort(centroids.begin(), centroids.end());
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sorted[i];
+
+  std::vector<size_t> cuts(k + 1);  // cell c covers sorted[cuts[c], cuts[c+1})
+  for (int iter = 0; iter < max_iters; ++iter) {
+    cuts[0] = 0;
+    cuts[k] = n;
+    for (int c = 1; c < k; ++c) {
+      const double boundary = (centroids[c - 1] + centroids[c]) / 2.0;
+      cuts[c] = static_cast<size_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), boundary) -
+          sorted.begin());
+      cuts[c] = std::max(cuts[c], cuts[c - 1]);
+    }
+    bool changed = false;
+    for (int c = 0; c < k; ++c) {
+      if (cuts[c + 1] > cuts[c]) {
+        const double mean = (prefix[cuts[c + 1]] - prefix[cuts[c]]) /
+                            static_cast<double>(cuts[c + 1] - cuts[c]);
+        if (mean != centroids[c]) changed = true;
+        centroids[c] = mean;
+      }
+    }
+    std::sort(centroids.begin(), centroids.end());
+    if (!changed) break;
+  }
+
+  Kmeans1dResult result;
+  result.centroids = std::move(centroids);
+  result.boundaries.resize(k - 1);
+  for (int c = 0; c + 1 < k; ++c) {
+    result.boundaries[c] =
+        (result.centroids[c] + result.centroids[c + 1]) / 2.0;
+  }
+  return result;
+}
+
+}  // namespace hydra::transform

@@ -1,0 +1,27 @@
+// One-dimensional k-means (Lloyd's algorithm), used by the VA+file to place
+// non-uniform quantization cells per dimension.
+#ifndef HYDRA_TRANSFORM_KMEANS1D_H_
+#define HYDRA_TRANSFORM_KMEANS1D_H_
+
+#include <span>
+#include <vector>
+
+namespace hydra::transform {
+
+/// Result of a 1-D k-means clustering: `centroids` sorted ascending and the
+/// k-1 decision `boundaries` (midpoints between adjacent centroids).
+struct Kmeans1dResult {
+  std::vector<double> centroids;
+  std::vector<double> boundaries;
+};
+
+/// Clusters `values` into `k` cells. Initialization at sample quantiles;
+/// Lloyd iterations until assignment is stable or `max_iters` is reached.
+/// Handles duplicate/degenerate data by keeping centroids distinct where
+/// possible.
+Kmeans1dResult Kmeans1d(std::span<const double> values, int k,
+                        int max_iters = 30);
+
+}  // namespace hydra::transform
+
+#endif  // HYDRA_TRANSFORM_KMEANS1D_H_

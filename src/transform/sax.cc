@@ -1,0 +1,51 @@
+#include "transform/sax.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/inverse_normal.h"
+
+namespace hydra::transform {
+
+SaxBreakpoints::SaxBreakpoints() {
+  tables_.resize(kMaxSaxBits);
+  for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+    const int cardinality = 1 << bits;
+    std::vector<double>& table = tables_[bits - 1];
+    table.resize(cardinality - 1);
+    for (int i = 1; i < cardinality; ++i) {
+      table[i - 1] = util::InverseNormalCdf(static_cast<double>(i) /
+                                            static_cast<double>(cardinality));
+    }
+  }
+}
+
+const SaxBreakpoints& SaxBreakpoints::Get() {
+  static const SaxBreakpoints* instance = new SaxBreakpoints();
+  return *instance;
+}
+
+std::span<const double> SaxBreakpoints::For(int bits) const {
+  HYDRA_CHECK(bits >= 1 && bits <= kMaxSaxBits);
+  return tables_[bits - 1];
+}
+
+double SaxBreakpoints::SymbolLower(uint8_t s, int bits) const {
+  const auto table = For(bits);
+  return s == 0 ? -std::numeric_limits<double>::infinity() : table[s - 1];
+}
+
+double SaxBreakpoints::SymbolUpper(uint8_t s, int bits) const {
+  const auto table = For(bits);
+  return s == table.size() ? std::numeric_limits<double>::infinity()
+                           : table[s];
+}
+
+uint8_t SaxSymbol(double paa_value, int bits) {
+  const auto table = SaxBreakpoints::Get().For(bits);
+  // Symbol = number of breakpoints strictly below the value.
+  const auto it = std::upper_bound(table.begin(), table.end(), paa_value);
+  return static_cast<uint8_t>(it - table.begin());
+}
+
+}  // namespace hydra::transform

@@ -1,0 +1,44 @@
+// Symbolic Aggregate Approximation: Gaussian equi-depth discretization of
+// PAA values. Breakpoints are nested across power-of-two cardinalities,
+// which iSAX exploits for variable-cardinality words.
+#ifndef HYDRA_TRANSFORM_SAX_H_
+#define HYDRA_TRANSFORM_SAX_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace hydra::transform {
+
+/// Maximum symbol resolution: 8 bits = alphabet of 256 (the paper's default
+/// cardinality for SAX-based indexes).
+inline constexpr int kMaxSaxBits = 8;
+
+/// Precomputed N(0,1) equi-depth breakpoints for cardinalities 2^1..2^8.
+/// For cardinality c there are c-1 breakpoints Phi^{-1}(i/c).
+class SaxBreakpoints {
+ public:
+  /// Singleton accessor (tables are built once).
+  static const SaxBreakpoints& Get();
+
+  /// Breakpoints for the alphabet of size 2^bits (2^bits - 1 values).
+  std::span<const double> For(int bits) const;
+
+  /// Lower edge of symbol `s` at `bits` resolution (-inf for the first).
+  double SymbolLower(uint8_t s, int bits) const;
+  /// Upper edge of symbol `s` at `bits` resolution (+inf for the last).
+  double SymbolUpper(uint8_t s, int bits) const;
+
+ private:
+  SaxBreakpoints();
+  std::vector<std::vector<double>> tables_;  // tables_[bits-1]
+};
+
+/// Discretizes one PAA value at `bits` resolution. Breakpoint nesting
+/// guarantees SaxSymbol(v, b) == SaxSymbol(v, b') >> (b' - b) for b <= b'.
+uint8_t SaxSymbol(double paa_value, int bits);
+
+}  // namespace hydra::transform
+
+#endif  // HYDRA_TRANSFORM_SAX_H_

@@ -1,0 +1,165 @@
+#include "transform/vaplus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "transform/kmeans1d.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace hydra::transform {
+namespace {
+
+constexpr int kMaxBitsPerDim = 10;
+
+std::vector<double> Column(const std::vector<std::vector<double>>& rows,
+                           size_t d) {
+  std::vector<double> col(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) col[i] = rows[i][d];
+  return col;
+}
+
+}  // namespace
+
+VaPlusQuantizer VaPlusQuantizer::Train(
+    const std::vector<std::vector<double>>& dfts, int total_bits,
+    Allocation allocation, CellPlacement placement) {
+  HYDRA_CHECK(!dfts.empty());
+  HYDRA_CHECK(total_bits >= 1);
+  const size_t dims = dfts.front().size();
+
+  // Bit allocation. Non-uniform: greedy rate-distortion — each extra bit
+  // halves a dimension's cell width, so give the next bit to the dimension
+  // with the largest remaining variance * 4^{-bits}.
+  std::vector<int> bits(dims, 0);
+  if (allocation == Allocation::kUniform) {
+    const int per_dim = std::max(1, total_bits / static_cast<int>(dims));
+    for (size_t d = 0; d < dims; ++d) {
+      bits[d] = std::min(per_dim, kMaxBitsPerDim);
+    }
+  } else {
+    std::vector<double> variance(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const auto col = Column(dfts, d);
+      const double sd = util::Stddev(col);
+      variance[d] = sd * sd;
+    }
+    for (int b = 0; b < total_bits; ++b) {
+      size_t best = 0;
+      double best_gain = -1.0;
+      for (size_t d = 0; d < dims; ++d) {
+        if (bits[d] >= kMaxBitsPerDim) continue;
+        const double gain = variance[d] * std::pow(0.25, bits[d]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = d;
+        }
+      }
+      if (best_gain <= 0.0) break;  // all dimensions degenerate or saturated
+      ++bits[best];
+    }
+  }
+
+  VaPlusQuantizer q;
+  q.bits_ = bits;
+  q.total_bits_ = total_bits;
+  q.edges_.resize(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    auto col = Column(dfts, d);
+    const auto [mn_it, mx_it] = std::minmax_element(col.begin(), col.end());
+    const double lo = *mn_it;
+    const double hi = *mx_it;
+    std::vector<double>& edges = q.edges_[d];
+    const int cells = 1 << bits[d];
+    edges.resize(cells + 1);
+    edges.front() = lo;
+    edges.back() = hi;
+    if (cells > 1) {
+      if (placement == CellPlacement::kKmeans) {
+        const Kmeans1dResult km = Kmeans1d(col, cells);
+        for (int c = 0; c + 1 < cells; ++c) edges[c + 1] = km.boundaries[c];
+      } else {
+        std::sort(col.begin(), col.end());
+        for (int c = 1; c < cells; ++c) {
+          edges[c] = col[std::min(col.size() - 1,
+                                  c * col.size() / static_cast<size_t>(cells))];
+        }
+      }
+      // Guarantee monotone edges even on degenerate data.
+      for (int c = 1; c <= cells; ++c) {
+        edges[c] = std::max(edges[c], edges[c - 1]);
+      }
+    }
+  }
+  return q;
+}
+
+std::vector<uint16_t> VaPlusQuantizer::Quantize(
+    std::span<const double> dft) const {
+  HYDRA_DCHECK(dft.size() == dims());
+  std::vector<uint16_t> cells(dims());
+  for (size_t d = 0; d < dims(); ++d) {
+    const auto& edges = edges_[d];
+    if (edges.size() <= 2) {
+      cells[d] = 0;
+      continue;
+    }
+    // Interior edges are edges[1..cells-1]; cell = count of interior edges
+    // below the value.
+    const auto begin = edges.begin() + 1;
+    const auto end = edges.end() - 1;
+    cells[d] = static_cast<uint16_t>(std::upper_bound(begin, end, dft[d]) -
+                                     begin);
+  }
+  return cells;
+}
+
+double VaPlusQuantizer::CellLowerBoundSq(
+    std::span<const double> q_dft, std::span<const uint16_t> cells) const {
+  HYDRA_DCHECK(q_dft.size() == dims());
+  double acc = 0.0;
+  for (size_t d = 0; d < dims(); ++d) {
+    const auto& edges = edges_[d];
+    const double lo = edges[cells[d]];
+    const double hi = edges[cells[d] + 1];
+    double dist = 0.0;
+    if (q_dft[d] < lo) {
+      dist = lo - q_dft[d];
+    } else if (q_dft[d] > hi) {
+      dist = q_dft[d] - hi;
+    }
+    acc += dist * dist;
+  }
+  return acc;
+}
+
+double VaPlusQuantizer::CellUpperBoundSq(
+    std::span<const double> q_dft, std::span<const uint16_t> cells) const {
+  HYDRA_DCHECK(q_dft.size() == dims());
+  double acc = 0.0;
+  for (size_t d = 0; d < dims(); ++d) {
+    const auto& edges = edges_[d];
+    const double lo = edges[cells[d]];
+    const double hi = edges[cells[d] + 1];
+    const double dist =
+        std::max(std::fabs(q_dft[d] - lo), std::fabs(q_dft[d] - hi));
+    acc += dist * dist;
+  }
+  return acc;
+}
+
+size_t VaPlusQuantizer::ApproximationBytes() const {
+  size_t used = 0;
+  for (int b : bits_) {
+    if (b > 0) ++used;
+  }
+  return used * sizeof(uint16_t);
+}
+
+size_t VaPlusQuantizer::MemoryBytes() const {
+  size_t bytes = bits_.size() * sizeof(int);
+  for (const auto& edges : edges_) bytes += edges.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace hydra::transform

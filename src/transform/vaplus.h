@@ -1,0 +1,66 @@
+// VA+ quantization: non-uniform bit allocation across DFT dimensions plus
+// per-dimension k-means cells (the improvements of VA+file over VA-file).
+#ifndef HYDRA_TRANSFORM_VAPLUS_H_
+#define HYDRA_TRANSFORM_VAPLUS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hydra::transform {
+
+/// Trained VA+ scalar quantizer.
+///
+/// Build: the total bit budget is distributed greedily across dimensions in
+/// proportion to remaining variance (dimensions with high energy get more
+/// bits, the paper's "non-uniform" allocation); each dimension's cells are
+/// then placed by 1-D k-means (instead of VA-file's equi-depth). Cell edges
+/// are finite (data min/max), so upper bounds are finite too.
+class VaPlusQuantizer {
+ public:
+  enum class Allocation { kNonUniform, kUniform };
+  enum class CellPlacement { kKmeans, kEquiDepth };
+
+  /// Trains on the DFT vectors of the collection. `total_bits` is the
+  /// whole-word budget (e.g. 64 bits over 16 dims).
+  static VaPlusQuantizer Train(const std::vector<std::vector<double>>& dfts,
+                               int total_bits,
+                               Allocation allocation = Allocation::kNonUniform,
+                               CellPlacement placement = CellPlacement::kKmeans);
+
+  /// Cell index per dimension for one DFT vector (dimensions with 0 bits
+  /// have a single implicit cell and are stored as 0).
+  std::vector<uint16_t> Quantize(std::span<const double> dft) const;
+
+  /// Lower bound on squared ED between originals given the query DFT and a
+  /// candidate's cell word. Valid in the full space because the packed DFT
+  /// is orthonormal and the untracked tail only adds distance.
+  double CellLowerBoundSq(std::span<const double> q_dft,
+                          std::span<const uint16_t> cells) const;
+
+  /// Upper bound on the squared distance *within the truncated DFT space*.
+  /// For a full-space upper bound the caller must add the residual-energy
+  /// term (sqrt(Eq_tail) + sqrt(Ec_tail))^2; the VA+file index stores each
+  /// series' tail energy in its approximation file for this purpose.
+  double CellUpperBoundSq(std::span<const double> q_dft,
+                          std::span<const uint16_t> cells) const;
+
+  size_t dims() const { return bits_.size(); }
+  int bits_for(size_t d) const { return bits_[d]; }
+  int total_bits() const { return total_bits_; }
+  /// Bytes per stored approximation word (packed, one uint16 per used dim).
+  size_t ApproximationBytes() const;
+  /// Resident size of the quantizer tables in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  // edges_[d] has 2^bits_[d] + 1 finite ascending edges; cell c of dimension
+  // d spans [edges_[d][c], edges_[d][c+1]].
+  std::vector<std::vector<double>> edges_;
+  std::vector<int> bits_;
+  int total_bits_ = 0;
+};
+
+}  // namespace hydra::transform
+
+#endif  // HYDRA_TRANSFORM_VAPLUS_H_

@@ -1,0 +1,48 @@
+// Invariant-checking macros. Hydra follows a no-exceptions discipline on hot
+// paths; programmer errors abort with a diagnostic, fallible operations
+// return util::Status.
+#ifndef HYDRA_UTIL_CHECK_H_
+#define HYDRA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hydra::util::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hydra::util::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always evaluated (also in
+/// release builds): Hydra invariants guard correctness of search results.
+#define HYDRA_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::hydra::util::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+/// HYDRA_CHECK with an explanatory message (plain C string).
+#define HYDRA_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::hydra::util::internal::CheckFailed(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot loops; compiled out in release builds.
+#ifndef NDEBUG
+#define HYDRA_DCHECK(cond) HYDRA_CHECK(cond)
+#else
+#define HYDRA_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#endif
+
+#endif  // HYDRA_UTIL_CHECK_H_

@@ -1,0 +1,17 @@
+// Inverse of the standard normal CDF, used to derive SAX breakpoints.
+#ifndef HYDRA_UTIL_INVERSE_NORMAL_H_
+#define HYDRA_UTIL_INVERSE_NORMAL_H_
+
+namespace hydra::util {
+
+/// Returns Phi^{-1}(p) for p in (0, 1): the value x such that a standard
+/// normal variable is below x with probability p. Accurate to ~1e-9
+/// (Acklam's rational approximation refined with one Halley step).
+double InverseNormalCdf(double p);
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_INVERSE_NORMAL_H_

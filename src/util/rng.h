@@ -1,0 +1,43 @@
+// Deterministic random number generation used by data/query generators.
+#ifndef HYDRA_UTIL_RNG_H_
+#define HYDRA_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace hydra::util {
+
+/// Seeded pseudo-random generator with the distributions Hydra needs.
+/// All dataset and workload generation is reproducible given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * normal_(engine_); }
+  /// Uniform draw in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform_(engine_);
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  /// Poisson draw with the given mean.
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_RNG_H_

@@ -1,0 +1,60 @@
+// Minimal Status/Result types for fallible operations (mostly file I/O).
+#ifndef HYDRA_UTIL_STATUS_H_
+#define HYDRA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace hydra::util {
+
+/// Outcome of a fallible operation. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+
+  /// Creates an error status carrying `message`.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : ok_(false), message_(std::move(message)) {}
+
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A value or an error. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {      // NOLINT(runtime/explicit)
+    HYDRA_CHECK_MSG(!status_.ok(), "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HYDRA_CHECK_MSG(ok(), "Result::value() on error result");
+    return value_;
+  }
+  T&& value() && {
+    HYDRA_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench binaries: every figure/table of the paper
+// is regenerated as a plain-text table on stdout.
+#ifndef HYDRA_UTIL_TABLE_H_
+#define HYDRA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hydra::util {
+
+/// Column-aligned ASCII table. Add a header row, then data rows, then Print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string with a separator under the header.
+  std::string ToString() const;
+
+  /// Prints the table (with an optional title) to stdout.
+  void Print(const std::string& title = "") const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Num(double v, int digits = 2);
+  /// Formats an integer count.
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_TABLE_H_

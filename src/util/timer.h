@@ -1,0 +1,29 @@
+// Wall-clock timing for the experiment harness.
+#ifndef HYDRA_UTIL_TIMER_H_
+#define HYDRA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hydra::util {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_TIMER_H_

@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "gen/random_walk.h"
+#include "gen/workload.h"
+
+namespace hydra::bench {
+namespace {
+
+class HarnessFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = gen::RandomWalkDataset(1500, 64, 555);
+    workload_ = gen::RandWorkload(10, 64, 556);
+    auto method = CreateMethod("DSTree", 64);
+    run_ = RunMethod(method.get(), data_, workload_);
+  }
+
+  core::Dataset data_;
+  gen::Workload workload_;
+  MethodRun run_;
+};
+
+TEST_F(HarnessFixture, RunCollectsPerQueryStats) {
+  EXPECT_EQ(run_.method, "DSTree");
+  EXPECT_EQ(run_.queries.size(), 10u);
+  EXPECT_EQ(run_.nn_dists_sq.size(), 10u);
+  for (const double d : run_.nn_dists_sq) EXPECT_GE(d, 0.0);
+}
+
+TEST_F(HarnessFixture, WorkloadSecondsPositiveAndAdditive) {
+  const auto hdd = io::DiskModel::Hdd();
+  const double total = ExactWorkloadSeconds(run_, hdd);
+  EXPECT_GT(total, 0.0);
+  double manual = 0.0;
+  for (const auto& q : run_.queries) manual += hdd.QueryTotalSeconds(q);
+  EXPECT_NEAR(total, manual, 1e-12);
+}
+
+TEST_F(HarnessFixture, ExtrapolationScalesTrimmedMean) {
+  const auto hdd = io::DiskModel::Hdd();
+  const double ten_k = Extrapolated10KSeconds(run_, hdd);
+  const double hundred = ExactWorkloadSeconds(run_, hdd);
+  // 10K extrapolation must be on the order of 1000x the 10-query total.
+  EXPECT_GT(ten_k, hundred * 100);
+  EXPECT_LT(ten_k, hundred * 100000);
+}
+
+TEST_F(HarnessFixture, PruningRatiosPerQuery) {
+  const auto ratios = PruningRatios(run_, data_.size());
+  ASSERT_EQ(ratios.size(), 10u);
+  for (const double r : ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EXPECT_NEAR(MeanPruningRatio(run_, data_.size()),
+              std::accumulate(ratios.begin(), ratios.end(), 0.0) / 10.0,
+              1e-12);
+}
+
+TEST_F(HarnessFixture, EasyHardSplitIsConsistent) {
+  std::vector<MethodRun> runs;
+  runs.push_back(run_);
+  const auto easy = EasiestQueries(runs, data_.size(), 3);
+  const auto hard = HardestQueries(runs, data_.size(), 3);
+  ASSERT_EQ(easy.size(), 3u);
+  ASSERT_EQ(hard.size(), 3u);
+  const auto ratios = PruningRatios(run_, data_.size());
+  // Every easy query must prune at least as much as every hard query.
+  for (const size_t e : easy) {
+    for (const size_t h : hard) {
+      EXPECT_GE(ratios[e], ratios[h]);
+    }
+  }
+}
+
+TEST_F(HarnessFixture, MeanSecondsOverSubset) {
+  const auto hdd = io::DiskModel::Hdd();
+  const std::vector<size_t> all = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const double mean_all = MeanSecondsOver(run_, hdd, all);
+  EXPECT_NEAR(mean_all * 10.0, ExactWorkloadSeconds(run_, hdd), 1e-9);
+  EXPECT_EQ(MeanSecondsOver(run_, hdd, {}), 0.0);
+}
+
+TEST(Registry, CreatesEveryMethod) {
+  for (const std::string& name : AllMethodNames()) {
+    auto method = CreateMethod(name);
+    ASSERT_NE(method, nullptr) << name;
+    EXPECT_EQ(method->name(), name);
+  }
+}
+
+TEST(Registry, BestSixIsSubsetOfAll) {
+  const auto all = AllMethodNames();
+  for (const std::string& name : BestSixNames()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hydra::bench

@@ -1,0 +1,71 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+
+namespace hydra::core {
+namespace {
+
+TEST(Dataset, AppendAndAccess) {
+  Dataset d("test", 4);
+  d.Append(std::vector<Value>{1, 2, 3, 4});
+  d.Append(std::vector<Value>{5, 6, 7, 8});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.length(), 4u);
+  EXPECT_FLOAT_EQ(d[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(d[1][3], 8.0f);
+  EXPECT_EQ(d.bytes(), 8 * sizeof(Value));
+}
+
+TEST(Dataset, AppendUninitializedIsWritable) {
+  Dataset d("test", 3);
+  Value* row = d.AppendUninitialized();
+  row[0] = 9;
+  row[1] = 8;
+  row[2] = 7;
+  EXPECT_FLOAT_EQ(d[0][1], 8.0f);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(ZNormalize, ProducesZeroMeanUnitVariance) {
+  std::vector<Value> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  ZNormalize(x);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (Value v : x) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / x.size(), 0.0, 1e-6);
+  EXPECT_NEAR(sum_sq / x.size(), 1.0, 1e-5);
+}
+
+TEST(ZNormalize, ConstantSeriesBecomesZero) {
+  std::vector<Value> x = {3, 3, 3, 3};
+  ZNormalize(x);
+  for (Value v : x) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(ZNormalize, PreservesShape) {
+  std::vector<Value> x = {0, 1, 0, -1};
+  std::vector<Value> y = {0, 10, 0, -10};  // same shape, scaled
+  ZNormalize(x);
+  ZNormalize(y);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], y[i], 1e-6);
+}
+
+TEST(Dataset, ZNormalizeAllNormalizesEverySeries) {
+  Dataset d("test", 4);
+  d.Append(std::vector<Value>{1, 2, 3, 4});
+  d.Append(std::vector<Value>{10, 0, 10, 0});
+  d.ZNormalizeAll();
+  for (size_t i = 0; i < d.size(); ++i) {
+    double sum = 0.0;
+    for (Value v : d[i]) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-5) << "series " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hydra::core

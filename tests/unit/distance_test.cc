@@ -1,0 +1,97 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "util/rng.h"
+
+namespace hydra::core {
+namespace {
+
+TEST(SquaredEuclidean, KnownValues) {
+  const std::vector<Value> a = {0, 0, 0};
+  const std::vector<Value> b = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, a), 0.0);
+}
+
+TEST(SquaredEuclidean, Symmetric) {
+  util::Rng rng(1);
+  std::vector<Value> a(37);
+  std::vector<Value> b(37);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<Value>(rng.Gaussian());
+    b[i] = static_cast<Value>(rng.Gaussian());
+  }
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), SquaredEuclidean(b, a));
+}
+
+TEST(EarlyAbandon, MatchesPlainDistanceWhenNotAbandoned) {
+  util::Rng rng(2);
+  std::vector<Value> a(64);
+  std::vector<Value> b(64);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<Value>(rng.Gaussian());
+    b[i] = static_cast<Value>(rng.Gaussian());
+  }
+  const double exact = SquaredEuclidean(a, b);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, inf), exact);
+}
+
+TEST(EarlyAbandon, AbandonsAboveBound) {
+  std::vector<Value> a(64, 0.0f);
+  std::vector<Value> b(64, 1.0f);  // true distance 64
+  const double r = SquaredEuclideanEarlyAbandon(a, b, 4.0);
+  EXPECT_GT(r, 4.0);   // must report violation
+  EXPECT_LT(r, 64.0);  // but should not have computed everything
+}
+
+TEST(QueryOrder, OrdersByDecreasingMagnitude) {
+  const std::vector<Value> q = {0.1f, -5.0f, 2.0f, 0.0f};
+  QueryOrder order(q);
+  ASSERT_EQ(order.order().size(), 4u);
+  EXPECT_EQ(order.order()[0], 1u);  // |-5| largest
+  EXPECT_EQ(order.order()[1], 2u);
+  EXPECT_EQ(order.order()[3], 3u);
+}
+
+TEST(QueryOrder, DistanceEqualsPlainWhenUnbounded) {
+  util::Rng rng(3);
+  std::vector<Value> q(128);
+  std::vector<Value> c(128);
+  for (size_t i = 0; i < q.size(); ++i) {
+    q[i] = static_cast<Value>(rng.Gaussian());
+    c[i] = static_cast<Value>(rng.Gaussian());
+  }
+  QueryOrder order(q);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(order.Distance(c, inf), SquaredEuclidean(q, c), 1e-9);
+}
+
+TEST(QueryOrder, NeverUnderestimatesWhenAbandoning) {
+  // If the reported value exceeds the bound, the true distance must too --
+  // this is what makes early abandoning safe for pruning.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Value> q(32);
+    std::vector<Value> c(32);
+    for (size_t i = 0; i < q.size(); ++i) {
+      q[i] = static_cast<Value>(rng.Gaussian());
+      c[i] = static_cast<Value>(rng.Gaussian());
+    }
+    QueryOrder order(q);
+    const double bound = rng.Uniform(0.0, 80.0);
+    const double reported = order.Distance(c, bound);
+    const double exact = SquaredEuclidean(q, c);
+    if (reported > bound) {
+      EXPECT_GT(exact, bound) << "abandoned although within bound";
+    } else {
+      EXPECT_NEAR(reported, exact, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hydra::core

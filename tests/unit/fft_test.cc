@@ -1,0 +1,159 @@
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "transform/dft.h"
+#include "transform/fft.h"
+#include "util/rng.h"
+
+namespace hydra::transform {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<core::Value> RandomSeries(util::Rng* rng, size_t n) {
+  std::vector<core::Value> x(n);
+  for (auto& v : x) v = static_cast<core::Value>(rng->Gaussian());
+  return x;
+}
+
+TEST(Fft, PowerOfTwoRoundTrip) {
+  util::Rng rng(1);
+  std::vector<Complex> a(64);
+  for (auto& v : a) v = Complex(rng.Gaussian(), rng.Gaussian());
+  const auto original = a;
+  Fft(&a, false);
+  Fft(&a, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoRoundTrip) {
+  // Bluestein path (96 = the Deep1B series length; 100, 37 are stress cases).
+  for (size_t n : {96u, 100u, 37u, 3u}) {
+    util::Rng rng(n);
+    std::vector<Complex> a(n);
+    for (auto& v : a) v = Complex(rng.Gaussian(), rng.Gaussian());
+    const auto original = a;
+    Fft(&a, false);
+    Fft(&a, true);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(a[i].real(), original[i].real(), 1e-8) << "n=" << n;
+      EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const size_t n = 24;
+  util::Rng rng(5);
+  std::vector<Complex> a(n);
+  for (auto& v : a) v = Complex(rng.Gaussian(), rng.Gaussian());
+  std::vector<Complex> naive(n, Complex(0, 0));
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * M_PI * static_cast<double>(j * k) / n;
+      naive[k] += a[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  Fft(&a, false);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(a[k].real(), naive[k].real(), 1e-8);
+    EXPECT_NEAR(a[k].imag(), naive[k].imag(), 1e-8);
+  }
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<Complex> a(16, Complex(0, 0));
+  a[0] = Complex(1, 0);
+  Fft(&a, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(PackedRealDft, ParsevalHolds) {
+  // The packed transform is orthonormal: energy is preserved exactly.
+  for (size_t n : {32u, 96u, 128u, 17u}) {
+    util::Rng rng(n);
+    const auto x = RandomSeries(&rng, n);
+    const auto packed = PackedRealDft(x, MaxPackedCoeffs(n, false), false);
+    double ex = 0.0;
+    for (const auto v : x) ex += static_cast<double>(v) * v;
+    double ep = 0.0;
+    for (const double v : packed) ep += v * v;
+    EXPECT_NEAR(ex, ep, 1e-8 * std::max(1.0, ex)) << "n=" << n;
+  }
+}
+
+TEST(PackedRealDft, DistancePreservedInFullSpace) {
+  util::Rng rng(11);
+  const size_t n = 64;
+  const auto x = RandomSeries(&rng, n);
+  const auto y = RandomSeries(&rng, n);
+  const auto px = PackedRealDft(x, n, false);
+  const auto py = PackedRealDft(y, n, false);
+  double packed_dist = 0.0;
+  for (size_t i = 0; i < px.size(); ++i) {
+    packed_dist += (px[i] - py[i]) * (px[i] - py[i]);
+  }
+  EXPECT_NEAR(packed_dist, core::SquaredEuclidean(x, y), 1e-8);
+}
+
+TEST(PackedRealDft, TruncationLowerBounds) {
+  util::Rng rng(12);
+  const size_t n = 128;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = RandomSeries(&rng, n);
+    const auto y = RandomSeries(&rng, n);
+    const double exact = core::SquaredEuclidean(x, y);
+    for (size_t m : {4u, 8u, 16u, 64u}) {
+      const auto px = PackedRealDft(x, m, true);
+      const auto py = PackedRealDft(y, m, true);
+      double d = 0.0;
+      for (size_t i = 0; i < px.size(); ++i) {
+        d += (px[i] - py[i]) * (px[i] - py[i]);
+      }
+      EXPECT_LE(d, exact + 1e-7) << "m=" << m;
+    }
+  }
+}
+
+TEST(PackedRealDft, DcSkipZeroForNormalizedSeries) {
+  util::Rng rng(13);
+  std::vector<core::Value> x = RandomSeries(&rng, 32);
+  // Normalize to zero mean.
+  double mean = 0.0;
+  for (auto v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (auto& v : x) v -= static_cast<core::Value>(mean);
+  const auto with_dc = PackedRealDft(x, 4, false);
+  EXPECT_NEAR(with_dc[0], 0.0, 1e-5);  // DC coefficient vanishes
+}
+
+TEST(PackedRealDft, CoefficientCount) {
+  EXPECT_EQ(MaxPackedCoeffs(8, false), 8u);
+  EXPECT_EQ(MaxPackedCoeffs(8, true), 7u);
+  util::Rng rng(14);
+  const auto x = RandomSeries(&rng, 8);
+  EXPECT_EQ(PackedRealDft(x, 100, false).size(), 8u);
+  EXPECT_EQ(PackedRealDft(x, 3, false).size(), 3u);
+}
+
+TEST(FftHelpers, PowerOfTwoPredicates) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+  EXPECT_EQ(NextPowerOfTwo(96), 128u);
+  EXPECT_EQ(NextPowerOfTwo(128), 128u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+}
+
+}  // namespace
+}  // namespace hydra::transform

@@ -1,0 +1,131 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "io/counted_storage.h"
+#include "io/disk_model.h"
+#include "io/series_file.h"
+
+namespace hydra::io {
+namespace {
+
+core::Dataset MakeData(size_t count, size_t length) {
+  core::Dataset d("t", length);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<core::Value> row(length, static_cast<core::Value>(i));
+    d.Append(row);
+  }
+  return d;
+}
+
+TEST(CountedStorage, SequentialReadsChargeOneSeek) {
+  const auto data = MakeData(10, 8);
+  CountedStorage storage(&data);
+  core::SearchStats stats;
+  for (core::SeriesId i = 0; i < 10; ++i) storage.Read(i, &stats);
+  EXPECT_EQ(stats.random_seeks, 1);  // only the initial positioning
+  EXPECT_EQ(stats.sequential_reads, 10);
+  EXPECT_EQ(stats.bytes_read,
+            static_cast<int64_t>(10 * 8 * sizeof(core::Value)));
+}
+
+TEST(CountedStorage, SkipsChargeSeeks) {
+  const auto data = MakeData(10, 8);
+  CountedStorage storage(&data);
+  core::SearchStats stats;
+  storage.Read(0, &stats);
+  storage.Read(5, &stats);  // skip
+  storage.Read(6, &stats);  // contiguous
+  storage.Read(2, &stats);  // backward seek
+  EXPECT_EQ(stats.random_seeks, 3);
+  EXPECT_EQ(stats.sequential_reads, 4);
+}
+
+TEST(CountedStorage, ReadReturnsCorrectSeries) {
+  const auto data = MakeData(4, 8);
+  CountedStorage storage(&data);
+  core::SearchStats stats;
+  const auto s = storage.Read(3, &stats);
+  EXPECT_FLOAT_EQ(s[0], 3.0f);
+}
+
+TEST(CountedStorage, ResetCursorForcesSeek) {
+  const auto data = MakeData(4, 8);
+  CountedStorage storage(&data);
+  core::SearchStats stats;
+  storage.Read(0, &stats);
+  storage.ResetCursor();
+  storage.Read(1, &stats);  // would be sequential without the reset
+  EXPECT_EQ(stats.random_seeks, 2);
+}
+
+TEST(ChargeHelpers, LeafReadSemantics) {
+  core::SearchStats stats;
+  ChargeLeafRead(100, 64, &stats);
+  EXPECT_EQ(stats.random_seeks, 1);
+  EXPECT_EQ(stats.sequential_reads, 100);
+  EXPECT_EQ(stats.bytes_read, 6400);
+}
+
+TEST(DiskModel, HddChargesSeeksHeavily) {
+  const DiskModel hdd = DiskModel::Hdd();
+  const DiskModel ssd = DiskModel::Ssd();
+  // 1000 seeks of tiny reads: HDD must be much slower than SSD.
+  const double hdd_time = hdd.IoSeconds(1024, 1000);
+  const double ssd_time = ssd.IoSeconds(1024, 1000);
+  EXPECT_GT(hdd_time, 10.0 * ssd_time);
+}
+
+TEST(DiskModel, SsdSlowerOnPureThroughput) {
+  const DiskModel hdd = DiskModel::Hdd();
+  const DiskModel ssd = DiskModel::Ssd();
+  // A large sequential scan: the paper's HDD RAID has ~4x the throughput.
+  const int64_t gb = 1024LL * 1024 * 1024;
+  EXPECT_LT(hdd.IoSeconds(gb, 1), ssd.IoSeconds(gb, 1));
+}
+
+TEST(DiskModel, QueryTotalAddsCpu) {
+  const DiskModel mem = DiskModel::Memory();
+  core::SearchStats stats;
+  stats.cpu_seconds = 1.5;
+  stats.bytes_read = 123456;
+  EXPECT_NEAR(mem.QueryTotalSeconds(stats), 1.5, 1e-3);
+}
+
+TEST(SeriesFile, RoundTrip) {
+  const auto data = MakeData(5, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_series_file_test.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  auto loaded = ReadSeriesFile(path, "loaded");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const core::Dataset& d = loaded.value();
+  ASSERT_EQ(d.size(), 5u);
+  ASSERT_EQ(d.length(), 16u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < d.length(); ++j) {
+      EXPECT_FLOAT_EQ(d[i][j], data[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFile, MissingFileIsError) {
+  auto r = ReadSeriesFile("/nonexistent/path/file.bin");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SeriesFile, BadMagicIsError) {
+  const std::string path = ::testing::TempDir() + "/hydra_bad_magic.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = {1, 2, 3};
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  auto r = ReadSeriesFile(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hydra::io

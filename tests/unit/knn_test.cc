@@ -1,0 +1,76 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/knn.h"
+#include "util/rng.h"
+
+namespace hydra::core {
+namespace {
+
+TEST(KnnHeap, BoundInfiniteUntilFull) {
+  KnnHeap heap(3);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(0, 1.0);
+  heap.Offer(1, 2.0);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(2, 3.0);
+  EXPECT_DOUBLE_EQ(heap.Bound(), 3.0);
+}
+
+TEST(KnnHeap, KeepsKSmallest) {
+  KnnHeap heap(2);
+  heap.Offer(0, 5.0);
+  heap.Offer(1, 1.0);
+  heap.Offer(2, 3.0);
+  heap.Offer(3, 0.5);
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3u);
+  EXPECT_DOUBLE_EQ(result[0].dist_sq, 0.5);
+  EXPECT_EQ(result[1].id, 1u);
+  EXPECT_DOUBLE_EQ(result[1].dist_sq, 1.0);
+}
+
+TEST(KnnHeap, IgnoresWorseCandidatesWhenFull) {
+  KnnHeap heap(1);
+  heap.Offer(0, 1.0);
+  heap.Offer(1, 2.0);
+  EXPECT_DOUBLE_EQ(heap.Bound(), 1.0);
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0u);
+}
+
+TEST(KnnHeap, MatchesSortAgainstRandomStream) {
+  util::Rng rng(9);
+  const size_t k = 7;
+  KnnHeap heap(k);
+  std::vector<Neighbor> all;
+  for (SeriesId i = 0; i < 500; ++i) {
+    const double d = rng.Uniform(0.0, 100.0);
+    heap.Offer(i, d);
+    all.push_back({i, d});
+  }
+  std::sort(all.begin(), all.end());
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(result[i].id, all[i].id);
+    EXPECT_DOUBLE_EQ(result[i].dist_sq, all[i].dist_sq);
+  }
+}
+
+TEST(KnnHeap, BoundTightensMonotonically) {
+  util::Rng rng(10);
+  KnnHeap heap(5);
+  double prev = std::numeric_limits<double>::infinity();
+  for (SeriesId i = 0; i < 200; ++i) {
+    heap.Offer(i, rng.Uniform(0.0, 10.0));
+    EXPECT_LE(heap.Bound(), prev);
+    prev = heap.Bound();
+  }
+}
+
+}  // namespace
+}  // namespace hydra::core

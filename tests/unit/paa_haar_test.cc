@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "transform/haar.h"
+#include "transform/paa.h"
+#include "util/rng.h"
+
+namespace hydra::transform {
+namespace {
+
+std::vector<core::Value> RandomSeries(util::Rng* rng, size_t n) {
+  std::vector<core::Value> x(n);
+  for (auto& v : x) v = static_cast<core::Value>(rng->Gaussian());
+  return x;
+}
+
+TEST(Paa, SegmentMeans) {
+  const std::vector<core::Value> x = {1, 3, 5, 7};
+  const auto paa = Paa(x, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 6.0);
+}
+
+TEST(Paa, FullResolutionIsIdentity) {
+  const std::vector<core::Value> x = {1, -2, 3, -4};
+  const auto paa = Paa(x, 4);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(paa[i], x[i]);
+}
+
+TEST(Paa, LowerBoundHoldsRandomized) {
+  util::Rng rng(21);
+  const size_t n = 64;
+  const size_t segments = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = RandomSeries(&rng, n);
+    const auto y = RandomSeries(&rng, n);
+    const double lb = PaaLowerBoundSq(Paa(x, segments), Paa(y, segments),
+                                      n / segments);
+    EXPECT_LE(lb, core::SquaredEuclidean(x, y) + 1e-9);
+  }
+}
+
+TEST(Paa, LowerBoundTightForPiecewiseConstant) {
+  // Series that are constant within segments: PAA loses nothing.
+  const std::vector<core::Value> x = {2, 2, -1, -1};
+  const std::vector<core::Value> y = {0, 0, 3, 3};
+  const double lb = PaaLowerBoundSq(Paa(x, 2), Paa(y, 2), 2);
+  EXPECT_NEAR(lb, core::SquaredEuclidean(x, y), 1e-12);
+}
+
+TEST(Haar, EnergyPreserved) {
+  util::Rng rng(22);
+  for (size_t n : {8u, 64u, 96u}) {  // 96 exercises zero padding
+    const auto x = RandomSeries(&rng, n);
+    const auto h = HaarTransform(x);
+    double ex = 0.0;
+    for (const auto v : x) ex += static_cast<double>(v) * v;
+    double eh = 0.0;
+    for (const double v : h) eh += v * v;
+    EXPECT_NEAR(ex, eh, 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Haar, DistancePreserved) {
+  util::Rng rng(23);
+  const auto x = RandomSeries(&rng, 128);
+  const auto y = RandomSeries(&rng, 128);
+  const auto hx = HaarTransform(x);
+  const auto hy = HaarTransform(y);
+  double d = 0.0;
+  for (size_t i = 0; i < hx.size(); ++i) d += (hx[i] - hy[i]) * (hx[i] - hy[i]);
+  EXPECT_NEAR(d, core::SquaredEuclidean(x, y), 1e-8);
+}
+
+TEST(Haar, ScalingCoefficientIsScaledMean) {
+  const std::vector<core::Value> x = {1, 1, 1, 1};
+  const auto h = HaarTransform(x);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_NEAR(h[0], 2.0, 1e-12);  // mean * sqrt(n)
+  for (size_t i = 1; i < h.size(); ++i) EXPECT_NEAR(h[i], 0.0, 1e-12);
+}
+
+TEST(Haar, CoarsePrefixLowerBounds) {
+  // Truncated-prefix distances must lower-bound the true distance: this is
+  // what Stepwise's level-by-level filtering relies on.
+  util::Rng rng(24);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto x = RandomSeries(&rng, 64);
+    const auto y = RandomSeries(&rng, 64);
+    const auto hx = HaarTransform(x);
+    const auto hy = HaarTransform(y);
+    const double exact = core::SquaredEuclidean(x, y);
+    double partial = 0.0;
+    for (size_t i = 0; i < hx.size(); ++i) {
+      partial += (hx[i] - hy[i]) * (hx[i] - hy[i]);
+      EXPECT_LE(partial, exact + 1e-8);
+    }
+  }
+}
+
+TEST(Haar, LevelBoundaries) {
+  const auto bounds = HaarLevelBoundaries(16);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 1u);
+  EXPECT_EQ(bounds[1], 2u);
+  EXPECT_EQ(bounds[4], 16u);
+}
+
+}  // namespace
+}  // namespace hydra::transform

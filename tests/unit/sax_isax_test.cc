@@ -1,0 +1,132 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "transform/isax.h"
+#include "transform/paa.h"
+#include "transform/sax.h"
+#include "util/rng.h"
+
+namespace hydra::transform {
+namespace {
+
+TEST(SaxBreakpoints, EquiDepthGaussian) {
+  const auto& bp = SaxBreakpoints::Get();
+  const auto b1 = bp.For(1);
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_NEAR(b1[0], 0.0, 1e-9);  // median of N(0,1)
+  const auto b2 = bp.For(2);
+  ASSERT_EQ(b2.size(), 3u);
+  EXPECT_NEAR(b2[1], 0.0, 1e-9);
+  EXPECT_NEAR(b2[0], -b2[2], 1e-9);  // symmetric quartiles
+}
+
+TEST(SaxBreakpoints, NestedAcrossCardinalities) {
+  // Every breakpoint at b bits appears among the breakpoints at b+1 bits;
+  // this is what makes iSAX's variable cardinality sound.
+  const auto& bp = SaxBreakpoints::Get();
+  for (int bits = 1; bits < kMaxSaxBits; ++bits) {
+    const auto coarse = bp.For(bits);
+    const auto fine = bp.For(bits + 1);
+    for (size_t i = 0; i < coarse.size(); ++i) {
+      EXPECT_NEAR(coarse[i], fine[2 * i + 1], 1e-9);
+    }
+  }
+}
+
+TEST(SaxSymbol, PrefixPropertyAcrossResolutions) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const double v = rng.Gaussian(0.0, 2.0);
+    const uint8_t full = SaxSymbol(v, kMaxSaxBits);
+    for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+      EXPECT_EQ(SaxSymbol(v, bits), ReduceSymbol(full, bits))
+          << "v=" << v << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SaxSymbol, ExtremesMapToEndSymbols) {
+  EXPECT_EQ(SaxSymbol(-100.0, 3), 0);
+  EXPECT_EQ(SaxSymbol(100.0, 3), 7);
+}
+
+TEST(SaxBreakpoints, SymbolRegionsCoverTheLine) {
+  const auto& bp = SaxBreakpoints::Get();
+  for (int bits : {1, 3, 8}) {
+    const int cardinality = 1 << bits;
+    EXPECT_TRUE(std::isinf(bp.SymbolLower(0, bits)));
+    EXPECT_TRUE(std::isinf(bp.SymbolUpper(
+        static_cast<uint8_t>(cardinality - 1), bits)));
+    for (int s = 0; s + 1 < cardinality; ++s) {
+      EXPECT_DOUBLE_EQ(bp.SymbolUpper(static_cast<uint8_t>(s), bits),
+                       bp.SymbolLower(static_cast<uint8_t>(s + 1), bits));
+    }
+  }
+}
+
+TEST(IsaxWord, CoverageAtReducedResolution) {
+  std::vector<double> paa = {-1.5, 0.2, 1.7, 0.0};
+  IsaxWord full = FullResolutionWord(paa);
+  IsaxWord node;
+  node.symbols.resize(4);
+  node.bits.assign(4, 2);
+  for (size_t s = 0; s < 4; ++s) {
+    node.symbols[s] = ReduceSymbol(full.symbols[s], 2);
+  }
+  EXPECT_TRUE(WordCovers(node, full));
+  node.symbols[1] = static_cast<uint8_t>(node.symbols[1] ^ 1u);
+  EXPECT_FALSE(WordCovers(node, full));
+}
+
+TEST(IsaxWord, RootWordCoversEverything) {
+  std::vector<double> paa = {-3.0, 3.0};
+  IsaxWord full = FullResolutionWord(paa);
+  IsaxWord root;
+  root.symbols.assign(2, 0);
+  root.bits.assign(2, 0);
+  EXPECT_TRUE(WordCovers(root, full));
+  EXPECT_DOUBLE_EQ(IsaxMinDistSq(paa, root, 8), 0.0);
+}
+
+TEST(IsaxMinDist, ZeroWhenInsideRegion) {
+  std::vector<double> paa = {0.1, -0.1};
+  IsaxWord w = FullResolutionWord(paa);
+  EXPECT_DOUBLE_EQ(IsaxMinDistSq(paa, w, 4), 0.0);
+}
+
+TEST(IsaxMinDist, LowerBoundsTrueDistanceRandomized) {
+  util::Rng rng(32);
+  const size_t n = 64;
+  const size_t segments = 8;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<core::Value> x(n);
+    std::vector<core::Value> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<core::Value>(rng.Gaussian());
+      y[i] = static_cast<core::Value>(rng.Gaussian());
+    }
+    const auto paa_x = Paa(x, segments);
+    const auto paa_y = Paa(y, segments);
+    IsaxWord wy = FullResolutionWord(paa_y);
+    // Also check at random reduced resolutions.
+    for (size_t s = 0; s < segments; ++s) {
+      const int bits = static_cast<int>(rng.UniformInt(1, kMaxSaxBits));
+      wy.symbols[s] = ReduceSymbol(wy.symbols[s], bits);
+      wy.bits[s] = static_cast<uint8_t>(bits);
+    }
+    const double lb = IsaxMinDistSq(paa_x, wy, n / segments);
+    EXPECT_LE(lb, core::SquaredEuclidean(x, y) + 1e-9);
+  }
+}
+
+TEST(IsaxWord, DebugStringFormat) {
+  IsaxWord w;
+  w.symbols = {3, 0};
+  w.bits = {2, 1};
+  EXPECT_EQ(w.DebugString(), "3@2 0@1");
+}
+
+}  // namespace
+}  // namespace hydra::transform

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/inverse_normal.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace hydra::util {
+namespace {
+
+TEST(InverseNormal, MatchesKnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447461), 1.0, 1e-6);
+}
+
+TEST(InverseNormal, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(InverseNormalCdf(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(InverseNormal, SymmetricAroundMedian) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-9);
+  }
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 10.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = Summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, TrimmedMeanDropsExtremes) {
+  // 1 and 100 are dropped; the mean of {2,3,4} remains.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(TrimmedMean(xs, 1), 3.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 5);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::Error("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().message(), "nope");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace hydra::util

@@ -1,0 +1,162 @@
+// hydra — command-line front end for the library.
+//
+//   hydra gen <family> <count> <length> <seed> <out.bin>
+//       Generate a dataset (synth|seismic|astro|sald|deep) to a series file.
+//   hydra query <data.bin> <method> <k> [queries]
+//       Exact k-NN of generated probe queries against a series file.
+//   hydra range <data.bin> <method> <radius> [queries]
+//       Exact r-range queries.
+//   hydra compare <data.bin> [queries]
+//       Run the best six methods and print the scenario table.
+//   hydra methods
+//       List the available methods.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/harness.h"
+#include "bench/registry.h"
+#include "gen/realistic.h"
+#include "gen/workload.h"
+#include "io/disk_model.h"
+#include "io/series_file.h"
+#include "util/table.h"
+
+namespace hydra {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hydra gen <family> <count> <length> <seed> <out.bin>\n"
+               "  hydra query <data.bin> <method> <k> [queries=10]\n"
+               "  hydra range <data.bin> <method> <radius> [queries=10]\n"
+               "  hydra compare <data.bin> [queries=10]\n"
+               "  hydra methods\n");
+  return 2;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc != 7) return Usage();
+  const std::string family = argv[2];
+  const size_t count = std::strtoull(argv[3], nullptr, 10);
+  const size_t length = std::strtoull(argv[4], nullptr, 10);
+  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+  const core::Dataset data = gen::MakeDataset(family, count, length, seed);
+  const util::Status s = io::WriteSeriesFile(argv[6], data);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu series (%s) to %s\n", data.size(),
+              data.length(), family.c_str(), argv[6]);
+  return 0;
+}
+
+util::Result<core::Dataset> Load(const char* path) {
+  return io::ReadSeriesFile(path, "cli");
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  const size_t k = std::strtoull(argv[4], nullptr, 10);
+  const size_t queries = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10;
+
+  auto method = bench::CreateMethod(argv[3]);
+  const core::BuildStats build = method->Build(data);
+  std::printf("built %s over %zu series in %.2fs CPU\n",
+              method->name().c_str(), data.size(), build.cpu_seconds);
+  const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
+  for (size_t q = 0; q < probe.queries.size(); ++q) {
+    const core::KnnResult r = method->SearchKnn(probe.queries[q], k);
+    std::printf("query %2zu: ", q);
+    for (const auto& n : r.neighbors) {
+      std::printf("(%u, %.3f) ", n.id, std::sqrt(n.dist_sq));
+    }
+    std::printf("[examined %lld, seeks %lld]\n",
+                static_cast<long long>(r.stats.raw_series_examined),
+                static_cast<long long>(r.stats.random_seeks));
+  }
+  return 0;
+}
+
+int CmdRange(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  const double radius = std::strtod(argv[4], nullptr);
+  const size_t queries = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10;
+
+  auto method = bench::CreateMethod(argv[3]);
+  method->Build(data);
+  const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
+  for (size_t q = 0; q < probe.queries.size(); ++q) {
+    const core::RangeResult r = method->SearchRange(probe.queries[q], radius);
+    std::printf("query %2zu: %zu series within r=%.3f [examined %lld]\n", q,
+                r.matches.size(), radius,
+                static_cast<long long>(r.stats.raw_series_examined));
+  }
+  return 0;
+}
+
+int CmdCompare(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  const size_t queries = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+  const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
+
+  util::Table table({"method", "idx_s", "exact100_HDD_s", "exact100_SSD_s",
+                     "pruning"});
+  const auto hdd = io::DiskModel::ScaledHdd();
+  const auto ssd = io::DiskModel::Ssd();
+  for (const std::string& name : bench::BestSixNames()) {
+    auto method = bench::CreateMethod(name);
+    const bench::MethodRun run = bench::RunMethod(method.get(), data, probe);
+    table.AddRow({name, util::Table::Num(bench::IndexSeconds(run, hdd), 3),
+                  util::Table::Num(bench::Exact100Seconds(run, hdd), 3),
+                  util::Table::Num(bench::Exact100Seconds(run, ssd), 3),
+                  util::Table::Num(
+                      bench::MeanPruningRatio(run, data.size()), 3)});
+  }
+  table.Print("method comparison on " + std::string(argv[2]));
+  return 0;
+}
+
+int CmdMethods() {
+  for (const std::string& name : bench::AllMethodNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "range") return CmdRange(argc, argv);
+  if (cmd == "compare") return CmdCompare(argc, argv);
+  if (cmd == "methods") return CmdMethods();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hydra
+
+int main(int argc, char** argv) { return hydra::Main(argc, argv); }
