@@ -11,6 +11,7 @@
 #include "core/knn.h"
 #include "core/search_stats.h"
 #include "core/types.h"
+#include "util/check.h"
 
 namespace hydra::core {
 
@@ -65,7 +66,12 @@ class SearchMethod {
   /// Answers an exact r-range query (`radius` is in distance units, not
   /// squared). Every method implements it; the lower-bounding machinery of
   /// SearchKnn prunes with the fixed bound r^2 instead of a shrinking bsf.
-  virtual RangeResult SearchRange(SeriesView query, double radius) = 0;
+  /// Implementations square the radius, so the non-negative contract is
+  /// enforced here, once, for all of them.
+  RangeResult SearchRange(SeriesView query, double radius) {
+    HYDRA_CHECK_MSG(radius >= 0.0, "range radius must be non-negative");
+    return DoSearchRange(query, radius);
+  }
 
   /// ng-approximate k-NN (Definition 7): traverses one path of the index,
   /// visiting at most one leaf, and returns the best candidates found — no
@@ -84,6 +90,10 @@ class SearchMethod {
   virtual double MeanTlb(SeriesView /*query*/) const {
     return std::numeric_limits<double>::quiet_NaN();
   }
+
+ protected:
+  /// SearchRange implementation hook; `radius` is guaranteed non-negative.
+  virtual RangeResult DoSearchRange(SeriesView query, double radius) = 0;
 };
 
 /// Ground-truth exact k-NN by brute force (used by tests and to label query

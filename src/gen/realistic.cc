@@ -113,15 +113,53 @@ core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed) {
   return data;
 }
 
+namespace {
+
+// Single source of truth for the family names: MakeDataset dispatch and
+// KnownFamilies both read this table.
+using DatasetFactory = core::Dataset (*)(size_t, size_t, uint64_t);
+
+struct FamilyEntry {
+  const char* name;
+  DatasetFactory make;
+};
+
+constexpr FamilyEntry kFamilyTable[] = {
+    {"synth",
+     [](size_t count, size_t length, uint64_t seed) {
+       return RandomWalkDataset(count, length, seed);
+     }},
+    {"seismic", SeismicLikeDataset},
+    {"astro", AstroLikeDataset},
+    {"sald", SaldLikeDataset},
+    {"deep", DeepLikeDataset},
+};
+
+}  // namespace
+
 core::Dataset MakeDataset(const std::string& family, size_t count,
                           size_t length, uint64_t seed) {
-  if (family == "synth") return RandomWalkDataset(count, length, seed);
-  if (family == "seismic") return SeismicLikeDataset(count, length, seed);
-  if (family == "astro") return AstroLikeDataset(count, length, seed);
-  if (family == "sald") return SaldLikeDataset(count, length, seed);
-  if (family == "deep") return DeepLikeDataset(count, length, seed);
+  for (const FamilyEntry& entry : kFamilyTable) {
+    if (family == entry.name) return entry.make(count, length, seed);
+  }
   HYDRA_CHECK_MSG(false, "unknown dataset family");
   return core::Dataset("", 1);
+}
+
+const std::vector<std::string>& KnownFamilies() {
+  static const std::vector<std::string> kFamilies = [] {
+    std::vector<std::string> names;
+    for (const FamilyEntry& entry : kFamilyTable) names.push_back(entry.name);
+    return names;
+  }();
+  return kFamilies;
+}
+
+bool IsKnownFamily(const std::string& family) {
+  for (const std::string& f : KnownFamilies()) {
+    if (f == family) return true;
+  }
+  return false;
 }
 
 }  // namespace hydra::gen

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/dataset.h"
 
@@ -34,8 +35,15 @@ core::Dataset SaldLikeDataset(size_t count, size_t length, uint64_t seed);
 core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed);
 
 /// Dispatch by name: "synth", "seismic", "astro", "sald", "deep".
+/// The family must satisfy IsKnownFamily.
 core::Dataset MakeDataset(const std::string& family, size_t count,
                           size_t length, uint64_t seed);
+
+/// The dataset families MakeDataset dispatches on.
+const std::vector<std::string>& KnownFamilies();
+
+/// Whether `family` is a valid MakeDataset name.
+bool IsKnownFamily(const std::string& family);
 
 }  // namespace hydra::gen
 

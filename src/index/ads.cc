@@ -112,8 +112,8 @@ core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult AdsPlus::SearchRange(core::SeriesView query,
-                                       double radius) {
+core::RangeResult AdsPlus::DoSearchRange(core::SeriesView query,
+                                         double radius) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

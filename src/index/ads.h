@@ -30,12 +30,14 @@ class AdsPlus : public core::SearchMethod {
   std::string name() const override { return "ADS+"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,
                                        size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   AdsOptions options_;

@@ -346,8 +346,8 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult DsTree::SearchRange(core::SeriesView query,
-                                      double radius) {
+core::RangeResult DsTree::DoSearchRange(core::SeriesView query,
+                                        double radius) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -89,8 +89,8 @@ core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult Isax2Plus::SearchRange(core::SeriesView query,
-                                         double radius) {
+core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
+                                           double radius) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -29,12 +29,14 @@ class Isax2Plus : public core::SearchMethod {
   std::string name() const override { return "iSAX2+"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,
                                        size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   void VisitLeaf(const IsaxTree::Node& leaf, const core::QueryOrder& order,

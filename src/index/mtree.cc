@@ -278,8 +278,8 @@ core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
   return result;
 }
 
-core::RangeResult MTree::SearchRange(core::SeriesView query,
-                                     double radius) {
+core::RangeResult MTree::DoSearchRange(core::SeriesView query,
+                                       double radius) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -30,8 +30,6 @@ class MTree : public core::SearchMethod {
   std::string name() const override { return "M-tree"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
 
   /// epsilon-approximate k-NN (Definition 5 of the paper; Table 1 marks the
   /// M-tree as supporting it): every result is within (1+epsilon) of the
@@ -41,6 +39,10 @@ class MTree : public core::SearchMethod {
   core::KnnResult SearchKnnEpsApproximate(core::SeriesView query, size_t k,
                                           double epsilon);
   core::Footprint footprint() const override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   struct Node;

@@ -393,8 +393,8 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult RStarTree::SearchRange(core::SeriesView query,
-                                         double radius) {
+core::RangeResult RStarTree::DoSearchRange(core::SeriesView query,
+                                           double radius) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -31,10 +31,12 @@ class RStarTree : public core::SearchMethod {
   std::string name() const override { return "R*-tree"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   struct Node;

@@ -228,8 +228,8 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult SfaTrie::SearchRange(core::SeriesView query,
-                                       double radius) {
+core::RangeResult SfaTrie::DoSearchRange(core::SeriesView query,
+                                         double radius) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

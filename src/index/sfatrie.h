@@ -34,12 +34,14 @@ class SfaTrie : public core::SearchMethod {
   std::string name() const override { return "SFA"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,
                                        size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   struct Node;

@@ -101,8 +101,8 @@ core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult VaFile::SearchRange(core::SeriesView query,
-                                      double radius) {
+core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
+                                        double radius) {
   HYDRA_CHECK(raw_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

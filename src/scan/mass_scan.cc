@@ -72,8 +72,8 @@ core::KnnResult MassScan::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult MassScan::SearchRange(core::SeriesView query,
-                                        double radius) {
+core::RangeResult MassScan::DoSearchRange(core::SeriesView query,
+                                          double radius) {
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
   result.stats = ScanAll(query, [&](core::SeriesId id, double dist_sq) {

@@ -19,8 +19,10 @@ class MassScan : public core::SearchMethod {
   std::string name() const override { return "MASS"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   /// Computes all Fourier-domain distances, feeding each into `offer`.

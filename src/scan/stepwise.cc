@@ -144,8 +144,8 @@ core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult Stepwise::SearchRange(core::SeriesView query,
-                                        double radius) {
+core::RangeResult Stepwise::DoSearchRange(core::SeriesView query,
+                                          double radius) {
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;

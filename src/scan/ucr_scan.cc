@@ -33,8 +33,8 @@ core::KnnResult UcrScan::SearchKnn(core::SeriesView query, size_t k) {
   return result;
 }
 
-core::RangeResult UcrScan::SearchRange(core::SeriesView query,
-                                       double radius) {
+core::RangeResult UcrScan::DoSearchRange(core::SeriesView query,
+                                         double radius) {
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;

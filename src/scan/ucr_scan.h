@@ -16,8 +16,10 @@ class UcrScan : public core::SearchMethod {
   std::string name() const override { return "UCR-Suite"; }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::RangeResult SearchRange(core::SeriesView query,
-                                double radius) override;
+
+ protected:
+  core::RangeResult DoSearchRange(core::SeriesView query,
+                                  double radius) override;
 
  private:
   const core::Dataset* data_ = nullptr;

@@ -119,6 +119,22 @@ TEST(RangeQueryEdgeCases, EmptyResultForTinyRadius) {
   }
 }
 
+TEST(RangeQueryEdgeCases, NegativeRadiusViolatesPrecondition) {
+  // Every method squares the radius internally, which would silently turn
+  // r = -5 into r^2 = 25 (and M-tree would prune with the raw negative
+  // value while collecting with the squared one). The contract is checked
+  // at every SearchRange entry instead.
+  const auto data = gen::RandomWalkDataset(100, 64, 5454);
+  const gen::Workload w = gen::RandWorkload(1, 64, 5455);
+  for (const std::string& name : bench::AllMethodNames()) {
+    auto method = bench::CreateMethod(name, 32);
+    method->Build(data);
+    EXPECT_DEATH(method->SearchRange(w.queries[0], -5.0),
+                 "range radius must be non-negative")
+        << name;
+  }
+}
+
 TEST(RangeQueryStats, IndexesPruneRangeQueries) {
   const auto data = gen::RandomWalkDataset(4000, 128, 5454);
   const auto w = gen::CtrlWorkload(data, 4, 5455, 0.05, 0.1);

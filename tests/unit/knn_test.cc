@@ -1,3 +1,4 @@
+#include <cmath>
 #include <limits>
 
 #include <gtest/gtest.h>
@@ -59,6 +60,79 @@ TEST(KnnHeap, MatchesSortAgainstRandomStream) {
     EXPECT_EQ(result[i].id, all[i].id);
     EXPECT_DOUBLE_EQ(result[i].dist_sq, all[i].dist_sq);
   }
+}
+
+TEST(KnnHeap, TieBreakingSortsEqualDistancesById) {
+  KnnHeap heap(3);
+  heap.Offer(7, 2.0);
+  heap.Offer(3, 2.0);
+  heap.Offer(5, 1.0);
+  EXPECT_DOUBLE_EQ(heap.Bound(), 2.0);
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 5u);
+  EXPECT_EQ(result[1].id, 3u);
+  EXPECT_EQ(result[2].id, 7u);
+}
+
+TEST(KnnHeap, CandidateEqualToBoundRejectedWhenFull) {
+  // The bsf test is strictly `<`: a candidate tying the current k-th
+  // distance must not evict the incumbent (matches the paper's pruning,
+  // which only recurses when a lower bound beats the bsf).
+  KnnHeap heap(2);
+  heap.Offer(0, 1.0);
+  heap.Offer(1, 2.0);
+  EXPECT_DOUBLE_EQ(heap.Bound(), 2.0);
+  heap.Offer(9, 2.0);
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 0u);
+  EXPECT_EQ(result[1].id, 1u);
+}
+
+TEST(KnnHeap, DuplicateOffersCountTowardCapacityAndBound) {
+  // The heap does not deduplicate by id; offering the same candidate twice
+  // occupies two of the k slots, and Bound() leaves +inf exactly when the
+  // k-th offer (duplicate or not) arrives.
+  KnnHeap heap(3);
+  heap.Offer(4, 1.5);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(4, 1.5);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(9, 0.5);
+  EXPECT_DOUBLE_EQ(heap.Bound(), 1.5);
+  const auto result = heap.TakeSorted();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 9u);
+  EXPECT_DOUBLE_EQ(result[0].dist_sq, 0.5);
+  EXPECT_EQ(result[1].id, 4u);
+  EXPECT_EQ(result[2].id, 4u);
+  EXPECT_DOUBLE_EQ(result[1].dist_sq, 1.5);
+  EXPECT_DOUBLE_EQ(result[2].dist_sq, 1.5);
+}
+
+TEST(RangeCollector, BoundaryDistanceEqualToRadiusSqIsKept) {
+  // Range semantics are inclusive: dist_sq == r^2 is a match, and the
+  // pruning bound never shrinks as matches accumulate.
+  RangeCollector collector(4.0);
+  collector.Offer(1, 4.0);
+  collector.Offer(2, std::nextafter(4.0, 5.0));
+  collector.Offer(3, 0.0);
+  EXPECT_DOUBLE_EQ(collector.Bound(), 4.0);
+  const auto result = collector.TakeSorted();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3u);
+  EXPECT_DOUBLE_EQ(result[0].dist_sq, 0.0);
+  EXPECT_EQ(result[1].id, 1u);
+  EXPECT_DOUBLE_EQ(result[1].dist_sq, 4.0);
+}
+
+TEST(RangeCollector, ZeroRadiusKeepsOnlyExactMatches) {
+  RangeCollector collector(0.0);
+  collector.Offer(0, 0.0);
+  collector.Offer(1, 1e-300);
+  EXPECT_EQ(collector.size(), 1u);
+  EXPECT_DOUBLE_EQ(collector.Bound(), 0.0);
 }
 
 TEST(KnnHeap, BoundTightensMonotonically) {

@@ -10,7 +10,9 @@
 //       Run the best six methods and print the scenario table.
 //   hydra methods
 //       List the available methods.
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,12 +39,73 @@ int Usage() {
   return 2;
 }
 
+// User input must produce a clean error, never a HYDRA_CHECK abort.
+bool IsKnownMethod(const std::string& name) {
+  for (const std::string& m : bench::AllMethodNames()) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+int BadMethod(const std::string& name) {
+  std::fprintf(stderr, "error: unknown method '%s' (see: hydra methods)\n",
+               name.c_str());
+  return 1;
+}
+
+/// Parses a non-negative decimal integer; strtoull alone would wrap "-1"
+/// (even with leading whitespace) to ULLONG_MAX and accept trailing
+/// garbage, so the first character must already be a digit.
+bool ParseUint(const char* arg, uint64_t* out) {
+  if (arg == nullptr || arg[0] < '0' || arg[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int BadNumber(const char* what, const char* arg) {
+  std::fprintf(stderr, "error: %s must be a non-negative integer, got '%s'\n",
+               what, arg);
+  return 1;
+}
+
 int CmdGen(int argc, char** argv) {
   if (argc != 7) return Usage();
   const std::string family = argv[2];
-  const size_t count = std::strtoull(argv[3], nullptr, 10);
-  const size_t length = std::strtoull(argv[4], nullptr, 10);
-  const uint64_t seed = std::strtoull(argv[5], nullptr, 10);
+  if (!gen::IsKnownFamily(family)) {
+    std::string known;
+    for (const std::string& f : gen::KnownFamilies()) {
+      known += known.empty() ? f : "|" + f;
+    }
+    std::fprintf(stderr, "error: unknown family '%s' (%s)\n", family.c_str(),
+                 known.c_str());
+    return 1;
+  }
+  uint64_t count = 0;
+  uint64_t length = 0;
+  uint64_t seed = 0;
+  if (!ParseUint(argv[3], &count)) return BadNumber("count", argv[3]);
+  if (!ParseUint(argv[4], &length)) return BadNumber("length", argv[4]);
+  if (!ParseUint(argv[5], &seed)) return BadNumber("seed", argv[5]);
+  if (count == 0 || length == 0) {
+    std::fprintf(stderr, "error: count and length must be positive\n");
+    return 1;
+  }
+  // Cap the dataset volume so absurd sizes fail cleanly instead of
+  // dying on an uncatchable bad_alloc mid-generation.
+  constexpr uint64_t kMaxValues = uint64_t{1} << 31;  // 8 GiB of float32
+  if (count > kMaxValues / length) {
+    std::fprintf(stderr,
+                 "error: count x length = %llu x %llu exceeds the %llu-value "
+                 "limit\n",
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(length),
+                 static_cast<unsigned long long>(kMaxValues));
+    return 1;
+  }
   const core::Dataset data = gen::MakeDataset(family, count, length, seed);
   const util::Status s = io::WriteSeriesFile(argv[6], data);
   if (!s.ok()) {
@@ -60,14 +123,24 @@ util::Result<core::Dataset> Load(const char* path) {
 
 int CmdQuery(int argc, char** argv) {
   if (argc < 5) return Usage();
+  // Validate the cheap arguments before reading the (possibly huge) file.
+  if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
+  uint64_t k = 0;
+  if (!ParseUint(argv[4], &k)) return BadNumber("k", argv[4]);
+  if (k == 0) {
+    std::fprintf(stderr, "error: k must be positive\n");
+    return 1;
+  }
+  uint64_t queries = 10;
+  if (argc > 5 && !ParseUint(argv[5], &queries)) {
+    return BadNumber("queries", argv[5]);
+  }
   auto loaded = Load(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
     return 1;
   }
   const core::Dataset data = std::move(loaded).value();
-  const size_t k = std::strtoull(argv[4], nullptr, 10);
-  const size_t queries = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10;
 
   auto method = bench::CreateMethod(argv[3]);
   const core::BuildStats build = method->Build(data);
@@ -89,14 +162,25 @@ int CmdQuery(int argc, char** argv) {
 
 int CmdRange(int argc, char** argv) {
   if (argc < 5) return Usage();
+  // Validate the cheap arguments before reading the (possibly huge) file.
+  if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
+  errno = 0;
+  char* end = nullptr;
+  const double radius = std::strtod(argv[4], &end);
+  if (errno != 0 || end == argv[4] || *end != '\0' || !(radius >= 0.0)) {
+    std::fprintf(stderr, "error: radius must be a non-negative number\n");
+    return 1;
+  }
+  uint64_t queries = 10;
+  if (argc > 5 && !ParseUint(argv[5], &queries)) {
+    return BadNumber("queries", argv[5]);
+  }
   auto loaded = Load(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
     return 1;
   }
   const core::Dataset data = std::move(loaded).value();
-  const double radius = std::strtod(argv[4], nullptr);
-  const size_t queries = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10;
 
   auto method = bench::CreateMethod(argv[3]);
   method->Build(data);
@@ -118,7 +202,10 @@ int CmdCompare(int argc, char** argv) {
     return 1;
   }
   const core::Dataset data = std::move(loaded).value();
-  const size_t queries = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+  uint64_t queries = 10;
+  if (argc > 3 && !ParseUint(argv[3], &queries)) {
+    return BadNumber("queries", argv[3]);
+  }
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
 
   util::Table table({"method", "idx_s", "exact100_HDD_s", "exact100_SSD_s",
