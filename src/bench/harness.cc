@@ -2,25 +2,79 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/check.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace hydra::bench {
 
 MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
                     const gen::Workload& workload, size_t k) {
+  // The serial path is the parallel path at one thread (which never
+  // constructs a pool); keeping a single implementation is what makes the
+  // bit-identical guarantee trivially true.
+  return RunMethodParallel(method, data, workload, k, /*threads=*/1);
+}
+
+core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
+                                    const gen::Workload& workload, size_t k,
+                                    size_t threads) {
+  HYDRA_CHECK(method != nullptr);
+  HYDRA_CHECK_MSG(threads >= 1, "SearchKnnBatch needs at least one thread");
+  const size_t count = workload.queries.size();
+  core::BatchKnnResult batch;
+  batch.queries.resize(count);
+
+  const core::MethodTraits traits = method->traits();
+  if (threads > 1 && !traits.concurrent_queries) {
+    batch.serial_reason = traits.serial_reason.empty()
+                              ? "method does not support concurrent queries"
+                              : traits.serial_reason;
+  }
+  // The serial branch also covers an empty workload (a pool of
+  // min(threads, 0) workers would be invalid).
+  if (threads <= 1 || !traits.concurrent_queries || count == 0) {
+    batch.threads_used = 1;
+    for (size_t q = 0; q < count; ++q) {
+      batch.queries[q] = method->SearchKnn(workload.queries[q], k);
+    }
+  } else {
+    // Each worker answers whole queries and writes to its own slot; no
+    // state is shared between queries beyond the method's immutable index.
+    // Never spawn more workers than there are queries — the extras would
+    // only be created and joined idle, and threads_used reports workers
+    // that actually ran.
+    util::ThreadPool pool(std::min(threads, count));
+    batch.threads_used = pool.size();
+    pool.ParallelFor(0, count, [&](size_t q) {
+      batch.queries[q] = method->SearchKnn(workload.queries[q], k);
+    });
+  }
+  // Merge the per-query ledgers in workload order — deterministic no
+  // matter which thread answered which query.
+  for (const core::KnnResult& r : batch.queries) {
+    HYDRA_CHECK(!r.neighbors.empty());
+    batch.total.Add(r.stats);
+  }
+  return batch;
+}
+
+MethodRun RunMethodParallel(core::SearchMethod* method,
+                            const core::Dataset& data,
+                            const gen::Workload& workload, size_t k,
+                            size_t threads) {
   HYDRA_CHECK(method != nullptr);
   MethodRun run;
   run.method = method->name();
   run.build = method->Build(data);
-  run.queries.reserve(workload.queries.size());
-  run.nn_dists_sq.reserve(workload.queries.size());
-  for (size_t q = 0; q < workload.queries.size(); ++q) {
-    core::KnnResult result = method->SearchKnn(workload.queries[q], k);
-    HYDRA_CHECK(!result.neighbors.empty());
-    run.queries.push_back(result.stats);
-    run.nn_dists_sq.push_back(result.neighbors.front().dist_sq);
+  core::BatchKnnResult batch = SearchKnnBatch(method, workload, k, threads);
+  run.queries.reserve(batch.queries.size());
+  run.nn_dists_sq.reserve(batch.queries.size());
+  for (core::KnnResult& r : batch.queries) {
+    run.queries.push_back(r.stats);
+    run.nn_dists_sq.push_back(r.neighbors.front().dist_sq);
   }
   return run;
 }
@@ -39,16 +93,19 @@ double Exact100Seconds(const MethodRun& run, const io::DiskModel& disk) {
 
 double Extrapolated10KSeconds(const MethodRun& run,
                               const io::DiskModel& disk) {
+  HYDRA_CHECK_MSG(!run.queries.empty(),
+                  "Extrapolated10KSeconds over zero queries is meaningless");
   std::vector<double> seconds(run.queries.size());
   for (size_t i = 0; i < run.queries.size(); ++i) {
     seconds[i] = disk.QueryTotalSeconds(run.queries[i]);
   }
-  // The paper drops the 5 best and 5 worst of 100; scale proportionally for
-  // other workload sizes.
-  const size_t trim = std::max<size_t>(1, seconds.size() / 20);
+  // The paper drops the 5 best and 5 worst of 100 — 5% per side. Keep that
+  // fraction for other workload sizes; below 20 queries a 5% trim rounds
+  // to nothing, so the plain mean is used (n/20 < n/2 always leaves a
+  // non-empty middle, so TrimmedMean's precondition holds by construction).
+  const size_t trim = seconds.size() / 20;
   const double mean =
-      seconds.size() > 2 * trim ? util::TrimmedMean(seconds, trim)
-                                : util::Mean(seconds);
+      trim == 0 ? util::Mean(seconds) : util::TrimmedMean(seconds, trim);
   return mean * 10000.0;
 }
 

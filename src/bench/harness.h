@@ -25,6 +25,29 @@ struct MethodRun {
 MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
                     const gen::Workload& workload, size_t k = 1);
 
+/// Answers every workload query (k-NN) over an already-built method,
+/// running up to `threads` queries concurrently when the method's
+/// traits().concurrent_queries allows it. Falls back to serial execution
+/// (recording the method's serial_reason) otherwise, so it is safe to call
+/// for any method. Results are deterministic and bit-identical to calling
+/// SearchKnn serially: per-query entries stay in workload order and the
+/// merged `total` ledger accumulates in that order regardless of which
+/// thread answered which query.
+core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
+                                    const gen::Workload& workload, size_t k,
+                                    size_t threads);
+
+/// Parallel counterpart of RunMethod: builds the method on `data`, then
+/// answers the workload through SearchKnnBatch with `threads` workers.
+/// The returned MethodRun is bit-identical (stats counters, neighbor
+/// distances, query order) to the serial RunMethod for every
+/// concurrent-safe method; only the measured cpu_seconds differ run to run
+/// (as they do between two serial runs).
+MethodRun RunMethodParallel(core::SearchMethod* method,
+                            const core::Dataset& data,
+                            const gen::Workload& workload, size_t k,
+                            size_t threads);
+
 /// Sum over queries of modeled total time (CPU + I/O) on `disk`.
 double ExactWorkloadSeconds(const MethodRun& run, const io::DiskModel& disk);
 
@@ -32,9 +55,12 @@ double ExactWorkloadSeconds(const MethodRun& run, const io::DiskModel& disk);
 /// 100-query workload (workloads may run fewer queries for speed).
 double Exact100Seconds(const MethodRun& run, const io::DiskModel& disk);
 
-/// The paper's 10,000-query extrapolation: drop the best and worst 5
-/// queries, multiply the mean of the remaining 90 by 10,000 (scaled to the
-/// actual workload size).
+/// The paper's 10,000-query extrapolation: drop the best and worst 5% of
+/// queries (5 + 5 on the paper's 100-query workloads), multiply the mean of
+/// the rest by 10,000. The trim adapts to the workload size — below 20
+/// queries there is nothing to trim at 5%, so the plain mean is used.
+/// CHECK-fails on an empty run (an extrapolation over zero queries is
+/// meaningless, not zero seconds).
 double Extrapolated10KSeconds(const MethodRun& run, const io::DiskModel& disk);
 
 /// Modeled index construction time on `disk`.

@@ -40,12 +40,19 @@ double SquaredEuclideanEarlyAbandon(SeriesView a, SeriesView b, double bound) {
   return acc;
 }
 
-QueryOrder::QueryOrder(SeriesView query)
-    : query_(query.begin(), query.end()), order_(query.size()) {
+void QueryOrder::Reset(SeriesView query) {
+  query_.assign(query.begin(), query.end());
+  order_.resize(query.size());
   std::iota(order_.begin(), order_.end(), 0u);
   std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
     return std::fabs(query_[a]) > std::fabs(query_[b]);
   });
+}
+
+QueryOrder& ScratchQueryOrder(SeriesView query) {
+  thread_local QueryOrder order;
+  order.Reset(query);
+  return order;
 }
 
 double QueryOrder::Distance(SeriesView candidate, double bound) const {

@@ -9,31 +9,53 @@
 
 namespace hydra::core {
 
-/// Plain squared Euclidean distance.
+/// Plain *squared* Euclidean distance (no square root is ever taken on a
+/// hot path; compare against squared bounds).
 double SquaredEuclidean(SeriesView a, SeriesView b);
 
 /// Squared Euclidean distance that abandons once the partial sum exceeds
-/// `bound`; returns a value > `bound` when abandoned.
+/// `bound` (a *squared* threshold); returns a value > `bound` when
+/// abandoned, which is NOT the true distance — only its relation to
+/// `bound` is meaningful.
 double SquaredEuclideanEarlyAbandon(SeriesView a, SeriesView b, double bound);
 
 /// Per-query dimension ordering for reordered early abandoning: dimensions
 /// are visited in decreasing |q_i|, so large contributions (and abandons)
 /// come first on z-normalized data.
+///
+/// A QueryOrder is reusable: Reset re-sorts it for a new query while
+/// keeping its buffers, so repeated queries on one thread are
+/// allocation-free once warm (see ScratchQueryOrder).
 class QueryOrder {
  public:
-  explicit QueryOrder(SeriesView query);
+  /// An empty order; Reset must be called before Distance.
+  QueryOrder() = default;
 
-  /// Squared distance of `query` (the one given at construction) to
-  /// `candidate`, visiting dimensions in the precomputed order and
-  /// abandoning above `bound`.
+  explicit QueryOrder(SeriesView query) { Reset(query); }
+
+  /// Re-targets the order at `query`, reusing the existing buffers.
+  void Reset(SeriesView query);
+
+  /// *Squared* distance of the current query (the one given at
+  /// construction or the last Reset) to `candidate`, visiting dimensions
+  /// in the precomputed order and abandoning above the squared `bound`
+  /// (abandoned results are only comparable against `bound`).
   double Distance(SeriesView candidate, double bound) const;
 
+  /// The dimension visit order (decreasing |q_i|).
   const std::vector<uint32_t>& order() const { return order_; }
 
  private:
   std::vector<Value> query_;     // copied query values
   std::vector<uint32_t> order_;  // dimension visit order
 };
+
+/// Thread-local reusable QueryOrder, Reset to `query`. Like ScratchKnnHeap:
+/// at most one scratch order is live per thread — a second call re-targets
+/// (and thus invalidates) the first. Every method uses at most one
+/// QueryOrder per query, so query hot paths can share this scratch safely
+/// even under concurrent batch execution.
+QueryOrder& ScratchQueryOrder(SeriesView query);
 
 }  // namespace hydra::core
 

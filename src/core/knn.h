@@ -11,10 +11,14 @@
 
 namespace hydra::core {
 
-/// One answer of a k-NN query. Distances are squared Euclidean (the paper's
-/// methods avoid the square root; callers can take sqrt for reporting).
+/// One answer of a k-NN query. `dist_sq` is *squared* Euclidean distance
+/// (the paper's methods avoid the square root on hot paths; callers take
+/// sqrt only for reporting). Ordering breaks distance ties by id, so sorted
+/// answer lists are fully deterministic.
 struct Neighbor {
+  /// Offset of the series in its dataset.
   SeriesId id = 0;
+  /// Squared Euclidean distance to the query.
   double dist_sq = std::numeric_limits<double>::infinity();
 
   friend bool operator<(const Neighbor& a, const Neighbor& b) {
@@ -23,14 +27,33 @@ struct Neighbor {
 };
 
 /// Collects the k nearest neighbors. `Bound()` is the current best-so-far
-/// (bsf) pruning threshold: the k-th smallest distance seen, or +inf until
-/// k candidates have been offered.
+/// (bsf) pruning threshold: the k-th smallest squared distance seen, or
+/// +inf until k candidates have been offered.
+///
+/// A heap is reusable: Reset(k) re-arms it for a new query while keeping
+/// the allocated buffer, so repeated queries on one thread are
+/// allocation-free once warm (see ScratchKnnHeap).
 class KnnHeap {
  public:
-  explicit KnnHeap(size_t k) : k_(k) { HYDRA_CHECK(k > 0); }
+  /// An empty heap; Reset must be called before use.
+  KnnHeap() = default;
 
-  /// Offers a candidate; keeps it if it is among the k best so far.
+  explicit KnnHeap(size_t k) { Reset(k); }
+
+  /// Re-arms the heap for a new query of size `k` (> 0), keeping the
+  /// existing capacity. Deliberately does not reserve k upfront: the heap
+  /// only ever grows to min(k, candidates offered), so a huge k against a
+  /// small collection stays cheap (and a reused heap is already warm).
+  void Reset(size_t k) {
+    HYDRA_CHECK(k > 0);
+    k_ = k;
+    heap_.clear();
+  }
+
+  /// Offers a candidate with *squared* distance `dist_sq`; keeps it if it
+  /// is among the k best so far.
   void Offer(SeriesId id, double dist_sq) {
+    HYDRA_DCHECK(k_ > 0);
     if (heap_.size() < k_) {
       heap_.push_back({id, dist_sq});
       std::push_heap(heap_.begin(), heap_.end(), ByDistance);
@@ -43,19 +66,31 @@ class KnnHeap {
     }
   }
 
-  /// Current pruning bound: the k-th best squared distance (or +inf).
+  /// Current pruning bound: the k-th best *squared* distance (or +inf
+  /// while the heap holds fewer than k candidates).
   double Bound() const {
     return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
                              : heap_.front().dist_sq;
   }
 
+  /// Candidates currently held (<= k).
   size_t size() const { return heap_.size(); }
 
-  /// Extracts the answers sorted by increasing distance.
+  /// Extracts the answers sorted by increasing distance, surrendering the
+  /// internal buffer (the heap must be Reset before reuse).
   std::vector<Neighbor> TakeSorted() {
     std::vector<Neighbor> result = std::move(heap_);
     std::sort(result.begin(), result.end());
     return result;
+  }
+
+  /// Copies the answers, sorted by increasing distance, into `*out`
+  /// (replacing its contents) and clears the heap while keeping its
+  /// buffer — the reuse-friendly alternative to TakeSorted.
+  void ExtractSortedTo(std::vector<Neighbor>* out) {
+    std::sort(heap_.begin(), heap_.end());
+    out->assign(heap_.begin(), heap_.end());
+    heap_.clear();
   }
 
  private:
@@ -63,27 +98,46 @@ class KnnHeap {
     return a.dist_sq < b.dist_sq;  // max-heap on distance
   }
 
-  size_t k_;
+  size_t k_ = 0;
   std::vector<Neighbor> heap_;
 };
+
+/// Thread-local reusable KnnHeap, Reset to `k`. Query hot paths use this so
+/// that answering many queries allocates nothing per query once the thread
+/// is warm — under concurrent batch execution, per-query heap allocations
+/// would serialize on the allocator.
+///
+/// At most ONE scratch heap is live per thread: a second call re-arms (and
+/// thus invalidates) the heap returned by the first. Methods that need two
+/// heap phases per query (VA+file's upper-bound pass, Stepwise's per-level
+/// passes) extract what they need from the first phase, then call Reset on
+/// the same reference for the next phase.
+inline KnnHeap& ScratchKnnHeap(size_t k) {
+  thread_local KnnHeap heap;
+  heap.Reset(k);
+  return heap;
+}
 
 /// Collects every candidate within a fixed squared-distance bound — the
 /// r-range counterpart of KnnHeap. `Bound()` never shrinks, so the same
 /// pruned traversals work for both query flavors.
 class RangeCollector {
  public:
+  /// `radius_sq` is the *squared* range radius r^2 (callers square the
+  /// user-facing radius; SearchMethod::SearchRange enforces r >= 0).
   explicit RangeCollector(double radius_sq) : radius_sq_(radius_sq) {
     HYDRA_CHECK(radius_sq >= 0.0);
   }
 
-  /// Keeps the candidate if it lies within the range.
+  /// Keeps the candidate if its *squared* distance lies within the range.
   void Offer(SeriesId id, double dist_sq) {
     if (dist_sq <= radius_sq_) matches_.push_back({id, dist_sq});
   }
 
-  /// The fixed pruning bound r^2.
+  /// The fixed pruning bound r^2 (squared distance units).
   double Bound() const { return radius_sq_; }
 
+  /// Matches collected so far.
   size_t size() const { return matches_.size(); }
 
   /// Extracts the matches sorted by increasing distance.

@@ -17,7 +17,9 @@ namespace hydra::core {
 
 /// Structural footprint of an index (Figure 8 of the paper).
 struct Footprint {
+  /// Index nodes of any kind (internal + leaf).
   int64_t total_nodes = 0;
+  /// Leaf nodes only.
   int64_t leaf_nodes = 0;
   /// Resident bytes: summaries, tree structure, breakpoint tables.
   int64_t memory_bytes = 0;
@@ -29,17 +31,51 @@ struct Footprint {
   std::vector<int> leaf_depths;
 };
 
-/// Result of one exact k-NN query: the answers plus the measurement ledger.
+/// Result of one exact k-NN query: the answers (squared distances, sorted
+/// ascending) plus the measurement ledger for this query alone.
 struct KnnResult {
   std::vector<Neighbor> neighbors;
   SearchStats stats;
 };
 
 /// Result of an r-range query (Definition 2 of the paper): every series
-/// within distance r of the query, sorted by increasing distance.
+/// within *unsquared* distance r of the query, sorted by increasing
+/// distance. Matches carry squared distances like every Neighbor.
 struct RangeResult {
   std::vector<Neighbor> matches;
   SearchStats stats;
+};
+
+/// Aggregated answers of a batch of k-NN queries executed over one method
+/// (serially or concurrently). Per-query entries are always kept in
+/// workload order, independent of the thread interleaving that produced
+/// them, and `total` is the per-query ledgers merged in that same order —
+/// so a batch run is deterministic and comparable against a serial run.
+struct BatchKnnResult {
+  /// One result per query, in workload order.
+  std::vector<KnnResult> queries;
+  /// All per-query ledgers accumulated in workload order. cpu_seconds is
+  /// the sum of per-query wall-clock compute, i.e. total CPU *work*, not
+  /// batch wall-clock time (which shrinks with threads).
+  SearchStats total;
+  /// Worker threads the batch actually ran on (1 for a serial fallback).
+  size_t threads_used = 1;
+  /// Why the batch fell back to serial execution; empty when it ran
+  /// concurrently or a single thread was requested.
+  std::string serial_reason;
+};
+
+/// Static capabilities a method advertises to the harness.
+struct MethodTraits {
+  /// True when SearchKnn/SearchRange/SearchKnnApproximate on a *built*
+  /// method are safe to call from multiple threads concurrently: query
+  /// answering must not write any state shared between queries (index
+  /// structure, storage cursors, scratch members). Build is never
+  /// concurrent-safe. Defaults to false so new methods opt in explicitly.
+  bool concurrent_queries = false;
+  /// Human-readable reason when concurrent_queries is false (shown by the
+  /// batch engine when it falls back to serial execution).
+  std::string serial_reason;
 };
 
 /// Abstract exact whole-matching k-NN search method. Implementations:
@@ -54,13 +90,24 @@ class SearchMethod {
   /// Human-readable method name ("ADS+", "DSTree", ...).
   virtual std::string name() const = 0;
 
+  /// Capabilities of this method; see MethodTraits. The default is the
+  /// conservative "queries must run serially".
+  virtual MethodTraits traits() const {
+    return {.concurrent_queries = false,
+            .serial_reason = "method has not been audited for concurrent "
+                             "query execution"};
+  }
+
   /// Builds the index / pre-organizes the data. For sequential scans this
-  /// is a no-op that records the dataset pointer.
+  /// is a no-op that records the dataset pointer. Never concurrent-safe;
+  /// must complete before any Search* call.
   virtual BuildStats Build(const Dataset& data) = 0;
 
-  /// Answers an exact k-NN query. Non-const because adaptive methods
-  /// (ADS+) refine their structure during query answering, and storage
-  /// cursors move.
+  /// Answers an exact k-NN query; neighbors are sorted by increasing
+  /// *squared* Euclidean distance. Non-const because adaptive methods
+  /// (ADS+) refine their structure during query answering; methods whose
+  /// traits().concurrent_queries is true guarantee the call is still safe
+  /// from multiple threads on a built index.
   virtual KnnResult SearchKnn(SeriesView query, size_t k) = 0;
 
   /// Answers an exact r-range query (`radius` is in distance units, not

@@ -11,11 +11,19 @@ namespace hydra::core {
 /// the paper's definitions: one random disk access corresponds to one leaf
 /// access for tree indexes, and to one skip for skip-sequential methods
 /// (ADS+, VA+file) and multi-step refinement (Stepwise).
+///
+/// Each query owns its ledger, so concurrent queries never share one; the
+/// batch engine merges per-query ledgers afterwards, in workload order.
+/// Two kinds of seconds exist in hydra: `cpu_seconds` here is *measured*
+/// wall-clock compute time, while I/O seconds are *modeled* from the
+/// counters by io::DiskModel (the paper's datasets are disk-resident; ours
+/// are memory-resident with charged I/O).
 struct SearchStats {
-  /// Full-resolution distance evaluations started (including abandoned ones).
+  /// Full-resolution distance evaluations started (including abandoned
+  /// ones). Dimensionless count.
   int64_t distance_computations = 0;
   /// Raw series fetched for refinement; the pruning ratio is
-  /// 1 - raw_series_examined / dataset_size.
+  /// 1 - raw_series_examined / dataset_size. Dimensionless count.
   int64_t raw_series_examined = 0;
   /// Lower-bound evaluations against summaries or nodes.
   int64_t lower_bound_computations = 0;
@@ -27,10 +35,11 @@ struct SearchStats {
   int64_t random_seeks = 0;
   /// Bytes fetched from the simulated raw/leaf/approximation files.
   int64_t bytes_read = 0;
-  /// Wall-clock compute time of the query (excludes modeled I/O).
+  /// *Measured* wall-clock compute seconds of the query. Excludes modeled
+  /// I/O time (io::DiskModel derives that from the counters above).
   double cpu_seconds = 0.0;
 
-  /// Accumulates `other` into this ledger.
+  /// Accumulates `other` into this ledger (all counters and cpu_seconds).
   void Add(const SearchStats& other) {
     distance_computations += other.distance_computations;
     raw_series_examined += other.raw_series_examined;
@@ -46,7 +55,8 @@ struct SearchStats {
 /// Index-construction ledger. Output time is modeled from bytes_written and
 /// random_writes via io::DiskModel.
 struct BuildStats {
-  /// Wall-clock compute time of construction.
+  /// *Measured* wall-clock compute seconds of construction (modeled I/O
+  /// seconds are derived separately via io::DiskModel).
   double cpu_seconds = 0.0;
   /// Bytes written to the simulated index/leaf files.
   int64_t bytes_written = 0;

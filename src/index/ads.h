@@ -28,6 +28,15 @@ class AdsPlus : public core::SearchMethod {
   explicit AdsPlus(AdsOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "ADS+"; }
+  /// ADS+ is adaptive: SearchKnn splits leaves along the query path
+  /// (mutating the shared iSAX tree) and all queries share one raw-file
+  /// cursor, so the batch engine must keep its queries serial.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = false,
+            .serial_reason =
+                "adaptive query-path leaf splitting mutates the shared "
+                "iSAX tree during queries"};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,

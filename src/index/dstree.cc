@@ -292,8 +292,8 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
   // ng-approximate descent for the initial bsf.
@@ -341,7 +341,7 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
     }
   }
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -352,7 +352,7 @@ core::RangeResult DsTree::DoSearchRange(core::SeriesView query,
   util::WallTimer timer;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
   // Depth-first traversal with the fixed bound (no bsf to tighten, so no
@@ -395,8 +395,8 @@ core::KnnResult DsTree::SearchKnnApproximate(core::SeriesView query,
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
   // One root-to-leaf path (Definition 7).
@@ -410,7 +410,7 @@ core::KnnResult DsTree::SearchKnnApproximate(core::SeriesView query,
   }
   ++result.stats.nodes_visited;
   VisitLeaf(*node, order, &heap, &result.stats);
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -30,6 +30,11 @@ class DsTree : public core::SearchMethod {
   ~DsTree() override;
 
   std::string name() const override { return "DSTree"; }
+  /// The tree is immutable after Build (queries only read nodes and the
+  /// dataset), so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,

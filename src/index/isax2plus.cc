@@ -59,8 +59,8 @@ core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
 
@@ -84,7 +84,7 @@ core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
       },
       &result.stats);
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -95,7 +95,7 @@ core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
   util::WallTimer timer;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
 
@@ -125,8 +125,8 @@ core::KnnResult Isax2Plus::SearchKnnApproximate(core::SeriesView query,
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
 
@@ -140,7 +140,7 @@ core::KnnResult Isax2Plus::SearchKnnApproximate(core::SeriesView query,
     ++result.stats.nodes_visited;
     VisitLeaf(*home, order, &heap, &result.stats);
   }
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

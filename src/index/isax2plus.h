@@ -27,6 +27,11 @@ class Isax2Plus : public core::SearchMethod {
   explicit Isax2Plus(Isax2PlusOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "iSAX2+"; }
+  /// The tree is immutable after Build (ApproximateLeaf never creates
+  /// nodes at query time), so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,

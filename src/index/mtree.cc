@@ -225,7 +225,7 @@ core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
   const double shrink = 1.0 / (1.0 + epsilon);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);  // squared distances, like all methods
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);  // squared, like all methods
 
   struct Item {
     double dmin;         // lower bound on the distance to any member
@@ -273,7 +273,7 @@ core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
     }
   }
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -28,6 +28,10 @@ class MTree : public core::SearchMethod {
   ~MTree() override;
 
   std::string name() const override { return "M-tree"; }
+  /// The tree is immutable after Build, so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 

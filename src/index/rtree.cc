@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "io/counted_storage.h"
 #include "transform/paa.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -121,7 +122,6 @@ core::BuildStats RStarTree::Build(const core::Dataset& data) {
   for (size_t i = 0; i < data.size(); ++i) {
     InsertPoint(static_cast<core::SeriesId>(i));
   }
-  raw_ = std::make_unique<io::CountedStorage>(data_);
 
   core::BuildStats stats;
   stats.cpu_seconds = timer.Seconds();
@@ -346,8 +346,10 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
+  // Per-query raw-file cursor: concurrent queries must not share one.
+  io::CountedStorage raw(data_);
   const auto paa = transform::Paa(query, dims_);
   std::vector<double> q(dims_);
   for (size_t d = 0; d < dims_; ++d) q[d] = paa[d] * scale_;
@@ -373,7 +375,7 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
         const double lb = e.rect.MinDistSqTo(q);
         ++result.stats.lower_bound_computations;
         if (lb >= heap.Bound()) continue;
-        const core::SeriesView s = raw_->Read(e.id, &result.stats);
+        const core::SeriesView s = raw.Read(e.id, &result.stats);
         const double d = order.Distance(s, heap.Bound());
         ++result.stats.distance_computations;
         ++result.stats.raw_series_examined;
@@ -388,7 +390,7 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
     }
   }
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -399,7 +401,8 @@ core::RangeResult RStarTree::DoSearchRange(core::SeriesView query,
   util::WallTimer timer;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
+  io::CountedStorage raw(data_);
   const auto paa = transform::Paa(query, dims_);
   std::vector<double> q(dims_);
   for (size_t d = 0; d < dims_; ++d) q[d] = paa[d] * scale_;
@@ -414,7 +417,7 @@ core::RangeResult RStarTree::DoSearchRange(core::SeriesView query,
       for (const Entry& e : node->entries) {
         ++result.stats.lower_bound_computations;
         if (e.rect.MinDistSqTo(q) > collector.Bound()) continue;
-        const core::SeriesView s = raw_->Read(e.id, &result.stats);
+        const core::SeriesView s = raw.Read(e.id, &result.stats);
         const double d = order.Distance(s, collector.Bound());
         ++result.stats.distance_computations;
         ++result.stats.raw_series_examined;

@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "core/method.h"
-#include "io/counted_storage.h"
 
 namespace hydra::index {
 
@@ -29,6 +28,11 @@ class RStarTree : public core::SearchMethod {
   ~RStarTree() override;
 
   std::string name() const override { return "R*-tree"; }
+  /// The tree is immutable after Build and each query reads the raw file
+  /// through its own cursor, so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::Footprint footprint() const override;
@@ -57,7 +61,6 @@ class RStarTree : public core::SearchMethod {
   std::vector<double> points_;  // scaled PAA point per series
   std::unique_ptr<Node> root_;
   int height_ = 0;  // leaf level = 0
-  std::unique_ptr<io::CountedStorage> raw_;
 };
 
 }  // namespace hydra::index

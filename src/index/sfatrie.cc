@@ -175,8 +175,8 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
   const auto q_word = quantizer_.Quantize(q_dft);
@@ -223,7 +223,7 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
     }
   }
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -234,7 +234,7 @@ core::RangeResult SfaTrie::DoSearchRange(core::SeriesView query,
   util::WallTimer timer;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
 
@@ -273,8 +273,8 @@ core::KnnResult SfaTrie::SearchKnnApproximate(core::SeriesView query,
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
   const auto q_word = quantizer_.Quantize(q_dft);
@@ -302,7 +302,7 @@ core::KnnResult SfaTrie::SearchKnnApproximate(core::SeriesView query,
     ++result.stats.nodes_visited;
     VisitLeaf(*node, order, &heap, &result.stats);
   }
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

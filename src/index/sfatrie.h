@@ -32,6 +32,10 @@ class SfaTrie : public core::SearchMethod {
   ~SfaTrie() override;
 
   std::string name() const override { return "SFA"; }
+  /// The trie is immutable after Build, so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::KnnResult SearchKnnApproximate(core::SeriesView query,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/distance.h"
+#include "io/counted_storage.h"
 #include "transform/dft.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -37,7 +38,6 @@ core::BuildStats VaFile::Build(const core::Dataset& data) {
     const auto cell = quantizer_.Quantize(dfts[i]);
     std::copy(cell.begin(), cell.end(), cells_.begin() + i * dims);
   }
-  raw_ = std::make_unique<io::CountedStorage>(data_);
 
   core::BuildStats stats;
   stats.cpu_seconds = timer.Seconds();
@@ -51,12 +51,14 @@ core::BuildStats VaFile::Build(const core::Dataset& data) {
 }
 
 core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
-  HYDRA_CHECK(raw_ != nullptr);
+  HYDRA_CHECK(data_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
   const size_t count = data_->size();
   const size_t dims = quantizer_.dims();
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
+  // Per-query raw-file cursor: concurrent queries must not share one.
+  io::CountedStorage raw(data_);
 
   const auto q_full = transform::PackedRealDft(
       query, transform::MaxPackedCoeffs(query.size(), true), true);
@@ -67,8 +69,10 @@ core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
 
   // Phase 1: bounds from the approximation file (memory-resident; the
   // paper reports VA+file performs virtually no sequential disk I/O).
+  // The scratch heap serves both phases in turn: phase 1 only needs the
+  // k-th best upper bound, which is extracted before the Reset.
   std::vector<double> lb(count);
-  core::KnnHeap ub_heap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
   for (size_t i = 0; i < count; ++i) {
     const std::span<const uint16_t> cell(cells_.data() + i * dims, dims);
     lb[i] = quantizer_.CellLowerBoundSq(q_dft, cell);
@@ -77,39 +81,39 @@ core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
     const double rt = q_tail_rt + std::sqrt(tail_energy_[i]);
     const double ub =
         quantizer_.CellUpperBoundSq(q_dft, cell) + rt * rt;
-    ub_heap.Offer(static_cast<core::SeriesId>(i), ub);
+    heap.Offer(static_cast<core::SeriesId>(i), ub);
   }
   result.stats.lower_bound_computations += static_cast<int64_t>(2 * count);
+  double bound = heap.Bound();
 
   // Phase 2: skip-sequential refinement of candidates in file order.
-  core::KnnHeap heap(k);
-  double bound = ub_heap.Bound();
+  heap.Reset(k);
   for (size_t i = 0; i < count; ++i) {
     bound = std::min(bound, heap.Bound());
     if (lb[i] >= bound) continue;
     const core::SeriesView s =
-        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
+        raw.Read(static_cast<core::SeriesId>(i), &result.stats);
     const double d = order.Distance(s, bound);
     ++result.stats.distance_computations;
     ++result.stats.raw_series_examined;
     heap.Offer(static_cast<core::SeriesId>(i), d);
   }
-  raw_->ResetCursor();
 
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
                                         double radius) {
-  HYDRA_CHECK(raw_ != nullptr);
+  HYDRA_CHECK(data_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
   const size_t count = data_->size();
   const size_t dims = quantizer_.dims();
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
+  io::CountedStorage raw(data_);
 
   const auto q_full = transform::PackedRealDft(
       query, transform::MaxPackedCoeffs(query.size(), true), true);
@@ -117,7 +121,6 @@ core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
 
   // One pass over the memory-resident approximation file, skip-sequential
   // refinement of the survivors against the raw file.
-  raw_->ResetCursor();
   for (size_t i = 0; i < count; ++i) {
     const std::span<const uint16_t> cell(cells_.data() + i * dims, dims);
     ++result.stats.lower_bound_computations;
@@ -125,13 +128,12 @@ core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
       continue;
     }
     const core::SeriesView s =
-        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
+        raw.Read(static_cast<core::SeriesId>(i), &result.stats);
     const double d = order.Distance(s, collector.Bound());
     ++result.stats.distance_computations;
     ++result.stats.raw_series_examined;
     collector.Offer(static_cast<core::SeriesId>(i), d);
   }
-  raw_->ResetCursor();
 
   result.matches = collector.TakeSorted();
   result.stats.cpu_seconds = timer.Seconds();

@@ -6,11 +6,9 @@
 #ifndef HYDRA_INDEX_VAFILE_H_
 #define HYDRA_INDEX_VAFILE_H_
 
-#include <memory>
 #include <vector>
 
 #include "core/method.h"
-#include "io/counted_storage.h"
 #include "transform/vaplus.h"
 
 namespace hydra::index {
@@ -33,6 +31,11 @@ class VaFile : public core::SearchMethod {
   explicit VaFile(VaFileOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "VA+file"; }
+  /// The approximation file is immutable after Build and each query reads
+  /// the raw file through its own cursor, so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::Footprint footprint() const override;
@@ -48,7 +51,6 @@ class VaFile : public core::SearchMethod {
   transform::VaPlusQuantizer quantizer_;
   std::vector<uint16_t> cells_;      // dims cells per series
   std::vector<double> tail_energy_;  // residual DFT energy per series
-  std::unique_ptr<io::CountedStorage> raw_;
 };
 
 }  // namespace hydra::index

@@ -64,11 +64,11 @@ core::SearchStats MassScan::ScanAll(core::SeriesView query, Offer&& offer) {
 
 core::KnnResult MassScan::SearchKnn(core::SeriesView query, size_t k) {
   core::KnnResult result;
-  core::KnnHeap heap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
   result.stats = ScanAll(query, [&](core::SeriesId id, double dist_sq) {
     heap.Offer(id, dist_sq);
   });
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   return result;
 }
 

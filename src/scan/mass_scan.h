@@ -17,6 +17,11 @@ namespace hydra::scan {
 class MassScan : public core::SearchMethod {
  public:
   std::string name() const override { return "MASS"; }
+  /// Queries only read the dataset and the precomputed norms, so they can
+  /// run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 

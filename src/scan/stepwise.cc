@@ -93,7 +93,9 @@ core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
     int64_t prev = -2;
     // Upper bounds of the k best candidates seen this level set the new
     // pruning bound (upper bounds are valid distances of real candidates).
-    core::KnnHeap ub_heap(k);
+    // The scratch heap is re-armed per level and once more for the final
+    // refinement; the bound survives each phase in `bound`.
+    core::KnnHeap& ub_heap = core::ScratchKnnHeap(k);
     std::vector<core::SeriesId> next;
     next.reserve(survivors.size());
     for (const core::SeriesId id : survivors) {
@@ -129,9 +131,9 @@ core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
   }
 
   // Final refinement on the raw file (random access per surviving run).
-  core::KnnHeap heap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
   io::CountedStorage raw(data_);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   for (const core::SeriesId id : survivors) {
     const core::SeriesView c = raw.Read(id, &result.stats);
     const double d = order.Distance(c, heap.Bound());
@@ -139,7 +141,7 @@ core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
     ++result.stats.raw_series_examined;
     heap.Offer(id, d);
   }
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -190,7 +192,7 @@ core::RangeResult Stepwise::DoSearchRange(core::SeriesView query,
 
   core::RangeCollector collector(radius_sq);
   io::CountedStorage raw(data_);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   for (const core::SeriesId id : survivors) {
     const core::SeriesView c = raw.Read(id, &result.stats);
     const double d = order.Distance(c, radius_sq);

@@ -28,6 +28,11 @@ class Stepwise : public core::SearchMethod {
   explicit Stepwise(int refine_levels = 1) : refine_levels_(refine_levels) {}
 
   std::string name() const override { return "Stepwise"; }
+  /// Coefficient files are immutable after Build and every query uses its
+  /// own cursors, so queries can run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 

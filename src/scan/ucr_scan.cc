@@ -17,8 +17,8 @@ core::KnnResult UcrScan::SearchKnn(core::SeriesView query, size_t k) {
   util::WallTimer timer;
 
   core::KnnResult result;
-  core::KnnHeap heap(k);
-  const core::QueryOrder order(query);
+  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   io::ChargeScanStart(&result.stats);
   io::ChargeSequentialRead(data_->size(), data_->length() * sizeof(core::Value),
                            &result.stats);
@@ -28,7 +28,7 @@ core::KnnResult UcrScan::SearchKnn(core::SeriesView query, size_t k) {
     heap.Offer(static_cast<core::SeriesId>(i), d);
   }
   result.stats.raw_series_examined = static_cast<int64_t>(data_->size());
-  result.neighbors = heap.TakeSorted();
+  heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
@@ -41,7 +41,7 @@ core::RangeResult UcrScan::DoSearchRange(core::SeriesView query,
 
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  const core::QueryOrder order(query);
+  const core::QueryOrder& order = core::ScratchQueryOrder(query);
   io::ChargeScanStart(&result.stats);
   io::ChargeSequentialRead(data_->size(), data_->length() * sizeof(core::Value),
                            &result.stats);

@@ -14,6 +14,11 @@ namespace hydra::scan {
 class UcrScan : public core::SearchMethod {
  public:
   std::string name() const override { return "UCR-Suite"; }
+  /// Stateless after Build (queries only read the dataset), so queries can
+  /// run concurrently.
+  core::MethodTraits traits() const override {
+    return {.concurrent_queries = true, .serial_reason = ""};
+  }
   core::BuildStats Build(const core::Dataset& data) override;
   core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for batch-query execution. Deliberately
+// work-stealing-free: one shared FIFO task queue feeds N workers, which is
+// all the batch engine needs (its tasks are coarse, one per query stripe)
+// and keeps the scheduling order easy to reason about.
+#ifndef HYDRA_UTIL_THREAD_POOL_H_
+#define HYDRA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hydra::util {
+
+/// Fixed pool of `threads` workers draining one shared task queue.
+///
+/// Thread safety: Submit and ParallelFor may be called from any thread that
+/// is not itself a pool worker (a worker submitting a task and blocking on
+/// its completion could deadlock the pool). The destructor drains the queue
+/// before joining, so every submitted task runs exactly once.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (must be >= 1).
+  explicit ThreadPool(size_t threads);
+
+  /// Drains the queue, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw (hydra is no-exceptions on
+  /// hot paths; invariant violations abort via HYDRA_CHECK).
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [begin, end), distributing indices over
+  /// the workers dynamically (grab-next-index), and blocks until all
+  /// indices have completed. `fn` must be safe to call concurrently from
+  /// `size()` threads; it receives each index exactly once, but in no
+  /// guaranteed order — callers that need ordered output should write to
+  /// slot i of a pre-sized array.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when unknown).
+  static size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_THREAD_POOL_H_

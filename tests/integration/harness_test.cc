@@ -87,6 +87,64 @@ TEST_F(HarnessFixture, MeanSecondsOverSubset) {
   EXPECT_EQ(MeanSecondsOver(run_, hdd, {}), 0.0);
 }
 
+// A MethodRun whose i-th query costs exactly seconds[i] of CPU and no I/O,
+// so modeled time == the given seconds on any disk model.
+MethodRun SyntheticRun(const std::vector<double>& seconds) {
+  MethodRun run;
+  run.method = "synthetic";
+  for (const double s : seconds) {
+    core::SearchStats stats;
+    stats.cpu_seconds = s;
+    run.queries.push_back(stats);
+    run.nn_dists_sq.push_back(0.0);
+  }
+  return run;
+}
+
+TEST(Extrapolation, EmptyRunAborts) {
+  const auto mem = io::DiskModel::Memory();
+  EXPECT_DEATH(Extrapolated10KSeconds(SyntheticRun({}), mem),
+               "zero queries");
+}
+
+TEST(Extrapolation, SingleQueryUsesPlainMean) {
+  const auto mem = io::DiskModel::Memory();
+  EXPECT_NEAR(Extrapolated10KSeconds(SyntheticRun({0.002}), mem),
+              0.002 * 10000.0, 1e-9);
+}
+
+TEST(Extrapolation, Below20QueriesNothingIsTrimmed) {
+  const auto mem = io::DiskModel::Memory();
+  // 19 queries with one extreme outlier: a 5% trim rounds to zero below 20
+  // queries, so the outlier must stay in the mean.
+  std::vector<double> seconds(19, 0.001);
+  seconds[7] = 1.0;
+  const double mean = (18 * 0.001 + 1.0) / 19.0;
+  EXPECT_NEAR(Extrapolated10KSeconds(SyntheticRun(seconds), mem),
+              mean * 10000.0, 1e-6);
+}
+
+TEST(Extrapolation, At20QueriesBestAndWorstAreDropped) {
+  const auto mem = io::DiskModel::Memory();
+  // 20 queries: trim = 1 per side, so the outliers at both ends vanish and
+  // the extrapolation sees only the 18 middle values.
+  std::vector<double> seconds(20, 0.001);
+  seconds[0] = 100.0;   // worst
+  seconds[19] = 1e-9;   // best
+  EXPECT_NEAR(Extrapolated10KSeconds(SyntheticRun(seconds), mem),
+              0.001 * 10000.0, 1e-6);
+}
+
+TEST(Extrapolation, At100QueriesMatchesThePapersFivePlusFive) {
+  const auto mem = io::DiskModel::Memory();
+  // The paper's shape: 100 queries, drop the 5 best and 5 worst.
+  std::vector<double> seconds(100, 0.001);
+  for (size_t i = 0; i < 5; ++i) seconds[i] = 50.0;    // 5 worst
+  for (size_t i = 95; i < 100; ++i) seconds[i] = 1e-9;  // 5 best
+  EXPECT_NEAR(Extrapolated10KSeconds(SyntheticRun(seconds), mem),
+              0.001 * 10000.0, 1e-6);
+}
+
 TEST(Registry, CreatesEveryMethod) {
   for (const std::string& name : AllMethodNames()) {
     auto method = CreateMethod(name);

@@ -147,4 +147,42 @@ TEST(KnnHeap, BoundTightensMonotonically) {
 }
 
 }  // namespace
+
+TEST(KnnHeap, ResetReusesBufferAndReArms) {
+  hydra::core::KnnHeap heap(2);
+  heap.Offer(1, 4.0);
+  heap.Offer(2, 1.0);
+  heap.Offer(3, 9.0);  // rejected
+  std::vector<hydra::core::Neighbor> out;
+  heap.ExtractSortedTo(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(out[1].id, 1u);
+  // Re-armed with a different k: previous contents are gone, bound is +inf.
+  heap.Reset(1);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(7, 3.0);
+  heap.ExtractSortedTo(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 7u);
+}
+
+TEST(KnnHeap, HugeKDoesNotPreallocate) {
+  // k beyond any realistic collection: the heap must grow lazily to the
+  // number of offered candidates, never reserve k slots upfront.
+  hydra::core::KnnHeap heap(size_t{1} << 40);
+  for (uint32_t i = 0; i < 100; ++i) heap.Offer(i, static_cast<double>(i));
+  EXPECT_EQ(heap.size(), 100u);
+  EXPECT_TRUE(std::isinf(heap.Bound()));  // still under-filled
+}
+
+TEST(KnnHeap, ScratchKnnHeapIsResetPerCall) {
+  hydra::core::KnnHeap& a = hydra::core::ScratchKnnHeap(3);
+  a.Offer(1, 1.0);
+  hydra::core::KnnHeap& b = hydra::core::ScratchKnnHeap(2);
+  EXPECT_EQ(&a, &b);        // same thread-local object...
+  EXPECT_EQ(b.size(), 0u);  // ...re-armed empty by the second call
+}
+
 }  // namespace hydra::core

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hydra::util {
+namespace {
+
+TEST(ThreadPoolTest, HardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kBegin = 7;
+  constexpr size_t kEnd = 1000;
+  std::vector<std::atomic<int>> visits(kEnd);
+  pool.ParallelFor(kBegin, kEnd, [&](size_t i) {
+    ASSERT_GE(i, kBegin);
+    ASSERT_LT(i, kEnd);
+    visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kBegin; ++i) EXPECT_EQ(visits[i].load(), 0);
+  for (size_t i = kBegin; i < kEnd; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  pool.ParallelFor(9, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForWithOneWorkerIsStillComplete) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(0, 3, [&](size_t i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(0, 50, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(0, 200, [&](size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+}  // namespace
+}  // namespace hydra::util

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Documentation gate (run by the CI docs job and locally before commits):
+#   1. every public header under src/ keeps its file-level comment — the
+#      first line must be a // comment saying what the file is;
+#   2. every relative markdown link in README.md and docs/ resolves to a
+#      file that exists (anchors are stripped; http(s)/mailto are skipped).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. file-level comments on public headers -------------------------------
+while IFS= read -r header; do
+  if ! head -n 1 "$header" | grep -q '^//'; then
+    echo "error: $header is missing its file-level // comment on line 1"
+    fail=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+# --- 2. relative markdown links resolve -------------------------------------
+md_files=(README.md)
+while IFS= read -r f; do md_files+=("$f"); done < <(find docs -name '*.md' | sort)
+
+for md in "${md_files[@]}"; do
+  dir=$(dirname "$md")
+  # Extract inline link targets: [text](target). One per line, tolerating
+  # several links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"             # strip an anchor
+    [ -z "$path" ] && continue       # pure in-page anchor (#section)
+    if [ ! -e "$dir/$path" ]; then
+      echo "error: $md links to '$target' but '$dir/$path' does not exist"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK: ${#md_files[@]} markdown files, all headers commented"

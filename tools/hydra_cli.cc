@@ -10,12 +10,17 @@
 //       Run the best six methods and print the scenario table.
 //   hydra methods
 //       List the available methods.
+//
+// `query` and `compare` accept --threads N anywhere after the command:
+// queries of one batch run concurrently when the method supports it
+// (results are identical to the serial run; see docs/ARCHITECTURE.md).
 #include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
 #include "bench/registry.h"
@@ -24,6 +29,7 @@
 #include "io/disk_model.h"
 #include "io/series_file.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace hydra {
 namespace {
@@ -32,9 +38,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  hydra gen <family> <count> <length> <seed> <out.bin>\n"
-               "  hydra query <data.bin> <method> <k> [queries=10]\n"
+               "  hydra query <data.bin> <method> <k> [queries=10] "
+               "[--threads N]\n"
                "  hydra range <data.bin> <method> <radius> [queries=10]\n"
-               "  hydra compare <data.bin> [queries=10]\n"
+               "  hydra compare <data.bin> [queries=10] [--threads N]\n"
                "  hydra methods\n");
   return 2;
 }
@@ -70,6 +77,35 @@ int BadNumber(const char* what, const char* arg) {
   std::fprintf(stderr, "error: %s must be a non-negative integer, got '%s'\n",
                what, arg);
   return 1;
+}
+
+/// Extracts a `--threads N` option (anywhere in argv) into `*threads` and
+/// removes it from `*args`. Returns false (after printing an error) on a
+/// missing or non-positive value.
+bool ExtractThreads(std::vector<char*>* args, uint64_t* threads) {
+  *threads = 1;
+  for (size_t i = 0; i < args->size(); ++i) {
+    if (std::string((*args)[i]) != "--threads") continue;
+    if (i + 1 >= args->size()) {
+      std::fprintf(stderr, "error: --threads needs a value\n");
+      return false;
+    }
+    // The cap keeps absurd values from aborting inside std::thread
+    // creation (bad user input must exit 1, never SIGABRT).
+    constexpr uint64_t kMaxThreads = 1024;
+    if (!ParseUint((*args)[i + 1], threads) || *threads == 0 ||
+        *threads > kMaxThreads) {
+      std::fprintf(stderr, "error: --threads must be an integer in "
+                           "[1, %llu], got '%s'\n",
+                   static_cast<unsigned long long>(kMaxThreads),
+                   (*args)[i + 1]);
+      return false;
+    }
+    args->erase(args->begin() + static_cast<long>(i),
+                args->begin() + static_cast<long>(i) + 2);
+    return true;
+  }
+  return true;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -121,7 +157,7 @@ util::Result<core::Dataset> Load(const char* path) {
   return io::ReadSeriesFile(path, "cli");
 }
 
-int CmdQuery(int argc, char** argv) {
+int CmdQuery(int argc, char** argv, uint64_t threads) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -147,8 +183,12 @@ int CmdQuery(int argc, char** argv) {
   std::printf("built %s over %zu series in %.2fs CPU\n",
               method->name().c_str(), data.size(), build.cpu_seconds);
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
-  for (size_t q = 0; q < probe.queries.size(); ++q) {
-    const core::KnnResult r = method->SearchKnn(probe.queries[q], k);
+  util::WallTimer timer;
+  const core::BatchKnnResult batch = bench::SearchKnnBatch(
+      method.get(), probe, k, static_cast<size_t>(threads));
+  const double wall = timer.Seconds();
+  for (size_t q = 0; q < batch.queries.size(); ++q) {
+    const core::KnnResult& r = batch.queries[q];
     std::printf("query %2zu: ", q);
     for (const auto& n : r.neighbors) {
       std::printf("(%u, %.3f) ", n.id, std::sqrt(n.dist_sq));
@@ -156,6 +196,15 @@ int CmdQuery(int argc, char** argv) {
     std::printf("[examined %lld, seeks %lld]\n",
                 static_cast<long long>(r.stats.raw_series_examined),
                 static_cast<long long>(r.stats.random_seeks));
+  }
+  if (threads > 1) {
+    if (!batch.serial_reason.empty()) {
+      std::printf("ran serially: %s\n", batch.serial_reason.c_str());
+    } else {
+      std::printf("%zu queries on %zu threads: %.3fs wall (%.1f queries/s)\n",
+                  batch.queries.size(), batch.threads_used, wall,
+                  static_cast<double>(batch.queries.size()) / wall);
+    }
   }
   return 0;
 }
@@ -194,7 +243,7 @@ int CmdRange(int argc, char** argv) {
   return 0;
 }
 
-int CmdCompare(int argc, char** argv) {
+int CmdCompare(int argc, char** argv, uint64_t threads) {
   if (argc < 3) return Usage();
   auto loaded = Load(argv[2]);
   if (!loaded.ok()) {
@@ -214,7 +263,13 @@ int CmdCompare(int argc, char** argv) {
   const auto ssd = io::DiskModel::Ssd();
   for (const std::string& name : bench::BestSixNames()) {
     auto method = bench::CreateMethod(name);
-    const bench::MethodRun run = bench::RunMethod(method.get(), data, probe);
+    const core::MethodTraits traits = method->traits();
+    if (threads > 1 && !traits.concurrent_queries) {
+      std::printf("note: %s ran serially: %s\n", name.c_str(),
+                  traits.serial_reason.c_str());
+    }
+    const bench::MethodRun run = bench::RunMethodParallel(
+        method.get(), data, probe, /*k=*/1, static_cast<size_t>(threads));
     table.AddRow({name, util::Table::Num(bench::IndexSeconds(run, hdd), 3),
                   util::Table::Num(bench::Exact100Seconds(run, hdd), 3),
                   util::Table::Num(bench::Exact100Seconds(run, ssd), 3),
@@ -234,11 +289,26 @@ int CmdMethods() {
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
-  if (cmd == "gen") return CmdGen(argc, argv);
-  if (cmd == "query") return CmdQuery(argc, argv);
-  if (cmd == "range") return CmdRange(argc, argv);
-  if (cmd == "compare") return CmdCompare(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  uint64_t threads = 1;
+  const size_t before = args.size();
+  if (!ExtractThreads(&args, &threads)) return 1;
+  const bool had_threads = args.size() != before;
+  if (args.size() < 2) return Usage();  // argv was only "--threads N"
+  const int n = static_cast<int>(args.size());
+  const std::string cmd = args[1];
+  // Only the batch-capable commands accept --threads; stripping it
+  // silently elsewhere would let users believe e.g. a range query ran
+  // concurrently.
+  if (had_threads && cmd != "query" && cmd != "compare") {
+    std::fprintf(stderr, "error: --threads is only supported by "
+                         "'query' and 'compare'\n");
+    return 1;
+  }
+  if (cmd == "gen") return CmdGen(n, args.data());
+  if (cmd == "query") return CmdQuery(n, args.data(), threads);
+  if (cmd == "range") return CmdRange(n, args.data());
+  if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
   return Usage();
 }
