@@ -19,10 +19,13 @@ MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
 }
 
 core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
-                                    const gen::Workload& workload, size_t k,
+                                    const gen::Workload& workload,
+                                    const core::QuerySpec& spec,
                                     size_t threads) {
   HYDRA_CHECK(method != nullptr);
   HYDRA_CHECK_MSG(threads >= 1, "SearchKnnBatch needs at least one thread");
+  HYDRA_CHECK_MSG(spec.kind == core::QueryKind::kKnn,
+                  "SearchKnnBatch executes k-NN specs");
   const size_t count = workload.queries.size();
   core::BatchKnnResult batch;
   batch.queries.resize(count);
@@ -38,7 +41,7 @@ core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
   if (threads <= 1 || !traits.concurrent_queries || count == 0) {
     batch.threads_used = 1;
     for (size_t q = 0; q < count; ++q) {
-      batch.queries[q] = method->SearchKnn(workload.queries[q], k);
+      batch.queries[q] = method->Execute(workload.queries[q], spec);
     }
   } else {
     // Each worker answers whole queries and writes to its own slot; no
@@ -49,16 +52,24 @@ core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
     util::ThreadPool pool(std::min(threads, count));
     batch.threads_used = pool.size();
     pool.ParallelFor(0, count, [&](size_t q) {
-      batch.queries[q] = method->SearchKnn(workload.queries[q], k);
+      batch.queries[q] = method->Execute(workload.queries[q], spec);
     });
   }
   // Merge the per-query ledgers in workload order — deterministic no
   // matter which thread answered which query.
-  for (const core::KnnResult& r : batch.queries) {
-    HYDRA_CHECK(!r.neighbors.empty());
+  for (const core::QueryResult& r : batch.queries) {
+    // Budgets may legitimately truncate an answer; everything else must
+    // return k (or collection-size) candidates.
+    HYDRA_CHECK(!r.neighbors.empty() || spec.has_budget());
     batch.total.Add(r.stats);
   }
   return batch;
+}
+
+core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
+                                    const gen::Workload& workload, size_t k,
+                                    size_t threads) {
+  return SearchKnnBatch(method, workload, core::QuerySpec::Knn(k), threads);
 }
 
 MethodRun RunMethodParallel(core::SearchMethod* method,

@@ -25,14 +25,23 @@ struct MethodRun {
 MethodRun RunMethod(core::SearchMethod* method, const core::Dataset& data,
                     const gen::Workload& workload, size_t k = 1);
 
-/// Answers every workload query (k-NN) over an already-built method,
-/// running up to `threads` queries concurrently when the method's
-/// traits().concurrent_queries allows it. Falls back to serial execution
-/// (recording the method's serial_reason) otherwise, so it is safe to call
-/// for any method. Results are deterministic and bit-identical to calling
-/// SearchKnn serially: per-query entries stay in workload order and the
-/// merged `total` ledger accumulates in that order regardless of which
-/// thread answered which query.
+/// Answers every workload query over an already-built method, executing
+/// the same QuerySpec (k-NN kinds only) for each, running up to `threads`
+/// queries concurrently when the method's traits().concurrent_queries
+/// allows it. Falls back to serial execution (recording the method's
+/// serial_reason) otherwise, so it is safe to call for any method.
+/// Results are deterministic and bit-identical to calling Execute
+/// serially: per-query entries stay in workload order and the merged
+/// `total` ledger accumulates in that order regardless of which thread
+/// answered which query. The merged ledger's answer_mode_delivered is the
+/// weakest guarantee delivered across the batch.
+core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
+                                    const gen::Workload& workload,
+                                    const core::QuerySpec& spec,
+                                    size_t threads);
+
+/// Legacy overload (deprecated): exact k-NN batch, equivalent to passing
+/// QuerySpec::Knn(k).
 core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
                                     const gen::Workload& workload, size_t k,
                                     size_t threads);

@@ -79,4 +79,26 @@ std::vector<std::string> PruningMethodNames() {
   return {"ADS+", "iSAX2+", "DSTree", "SFA", "VA+file"};
 }
 
+namespace {
+
+// Derived from each method's own traits() so the lists can never drift
+// from the support matrix (construction is cheap: no Build happens).
+std::vector<std::string> NamesSupporting(bool core::MethodTraits::* flag) {
+  std::vector<std::string> names;
+  for (const std::string& name : AllMethodNames()) {
+    if (CreateMethod(name)->traits().*flag) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> NgCapableNames() {
+  return NamesSupporting(&core::MethodTraits::supports_ng);
+}
+
+std::vector<std::string> EpsilonCapableNames() {
+  return NamesSupporting(&core::MethodTraits::supports_epsilon);
+}
+
 }  // namespace hydra::bench

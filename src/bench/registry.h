@@ -28,6 +28,14 @@ std::vector<std::string> BestSixNames();
 /// The five index methods with summarized leaves (TLB/pruning exhibits).
 std::vector<std::string> PruningMethodNames();
 
+/// The four ng-capable trees (Table 1): they support every quality mode of
+/// core::QuerySpec, including the delta-epsilon leaf-visit rule.
+std::vector<std::string> NgCapableNames();
+
+/// The seven index methods whose lower-bounding loops support
+/// epsilon-approximate pruning (everything but the sequential scans).
+std::vector<std::string> EpsilonCapableNames();
+
 }  // namespace hydra::bench
 
 #endif  // HYDRA_BENCH_REGISTRY_H_

@@ -5,10 +5,12 @@
 
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/knn.h"
+#include "core/query_spec.h"
 #include "core/search_stats.h"
 #include "core/types.h"
 #include "util/check.h"
@@ -31,12 +33,26 @@ struct Footprint {
   std::vector<int> leaf_depths;
 };
 
-/// Result of one exact k-NN query: the answers (squared distances, sorted
-/// ascending) plus the measurement ledger for this query alone.
-struct KnnResult {
+/// Result of one query executed through SearchMethod::Execute: the answers
+/// (squared distances, sorted ascending — k-NN neighbors or range matches)
+/// plus the measurement ledger for this query alone. The ledger also
+/// records which quality guarantee was actually delivered and whether an
+/// execution budget fired; the accessors below surface both.
+struct QueryResult {
   std::vector<Neighbor> neighbors;
   SearchStats stats;
+
+  /// Guarantee actually delivered (may be stronger than requested — a
+  /// method without ng support answers an ng request exactly — and drops
+  /// to QualityMode::kNgApprox when a budget truncated the traversal).
+  QualityMode delivered() const { return stats.answer_mode_delivered; }
+  /// True when max_visited_leaves / max_raw_series stopped the search.
+  bool budget_fired() const { return stats.budget_exhausted; }
 };
+
+/// Result of one exact k-NN query — the legacy name of QueryResult, kept
+/// for the SearchKnn wrapper and its many callers.
+using KnnResult = QueryResult;
 
 /// Result of an r-range query (Definition 2 of the paper): every series
 /// within *unsquared* distance r of the query, sorted by increasing
@@ -53,10 +69,11 @@ struct RangeResult {
 /// so a batch run is deterministic and comparable against a serial run.
 struct BatchKnnResult {
   /// One result per query, in workload order.
-  std::vector<KnnResult> queries;
+  std::vector<QueryResult> queries;
   /// All per-query ledgers accumulated in workload order. cpu_seconds is
   /// the sum of per-query wall-clock compute, i.e. total CPU *work*, not
-  /// batch wall-clock time (which shrinks with threads).
+  /// batch wall-clock time (which shrinks with threads). The merged
+  /// answer_mode_delivered is the weakest guarantee of the batch.
   SearchStats total;
   /// Worker threads the batch actually ran on (1 for a serial fallback).
   size_t threads_used = 1;
@@ -67,7 +84,7 @@ struct BatchKnnResult {
 
 /// Static capabilities a method advertises to the harness.
 struct MethodTraits {
-  /// True when SearchKnn/SearchRange/SearchKnnApproximate on a *built*
+  /// True when Execute (and the legacy Search* wrappers) on a *built*
   /// method are safe to call from multiple threads concurrently: query
   /// answering must not write any state shared between queries (index
   /// structure, storage cursors, scratch members). Build is never
@@ -76,10 +93,55 @@ struct MethodTraits {
   /// Human-readable reason when concurrent_queries is false (shown by the
   /// batch engine when it falls back to serial execution).
   std::string serial_reason;
+  /// Per-mode quality support matrix (Table 1 of the companion study).
+  /// kExact is universal; the flags advertise the approximate modes so
+  /// the harness and CLI can report honest fallbacks instead of silently
+  /// returning exact answers. Sequential scans are exact-only; the four
+  /// ng-capable trees (ADS+, DSTree, iSAX2+, SFA) support every mode;
+  /// M-tree, R*-tree, and VA+file add kEpsilon only.
+  bool supports_ng = false;
+  bool supports_epsilon = false;
+  bool supports_delta_epsilon = false;
+  /// True when the max_visited_leaves budget can actually bind: the
+  /// traversal visits more than one leaf as it searches. False for the
+  /// sequential scans and the VA+file (no leaves at all) and for ADS+
+  /// (SIMS visits exactly one leaf, then refines skip-sequentially), so
+  /// the CLI can refuse a leaf budget that could never fire instead of
+  /// silently ignoring it. The max_raw_series budget binds everywhere.
+  bool leaf_visit_budget = false;
+
+  /// Whether queries of mode `mode` run natively (kExact always does).
+  bool SupportsMode(QualityMode mode) const {
+    switch (mode) {
+      case QualityMode::kExact:
+        return true;
+      case QualityMode::kNgApprox:
+        return supports_ng;
+      case QualityMode::kEpsilon:
+        return supports_epsilon;
+      case QualityMode::kDeltaEpsilon:
+        return supports_delta_epsilon;
+    }
+    return false;
+  }
 };
 
-/// Abstract exact whole-matching k-NN search method. Implementations:
-/// the ten methods of the paper (Table 1) behind one contract.
+/// Empty when the method advertises `mode`; otherwise a human-readable
+/// reason ("method supports modes: exact, epsilon") for CLI errors and
+/// fallback notes.
+std::string ModeFallbackReason(const MethodTraits& traits, QualityMode mode);
+
+/// Abstract whole-matching similarity search method. Implementations: the
+/// ten methods of the paper (Table 1) behind one contract.
+///
+/// The single entry point is Execute(query, QuerySpec): it validates the
+/// spec once, resolves the requested quality mode against traits() (an
+/// unsupported mode falls back to the strongest supported guarantee and
+/// the fallback is recorded in the result — never silent), derives a
+/// KnnPlan, and dispatches to the protected Do* hooks. The legacy
+/// SearchKnn / SearchRange / SearchKnnApproximate entry points are thin
+/// wrappers over Execute, kept for existing callers and slated for
+/// removal.
 ///
 /// Lifetime: the Dataset passed to Build must outlive the method; methods
 /// keep a pointer to it as the simulated raw data file.
@@ -91,7 +153,7 @@ class SearchMethod {
   virtual std::string name() const = 0;
 
   /// Capabilities of this method; see MethodTraits. The default is the
-  /// conservative "queries must run serially".
+  /// conservative "queries must run serially, exact-only".
   virtual MethodTraits traits() const {
     return {.concurrent_queries = false,
             .serial_reason = "method has not been audited for concurrent "
@@ -100,33 +162,41 @@ class SearchMethod {
 
   /// Builds the index / pre-organizes the data. For sequential scans this
   /// is a no-op that records the dataset pointer. Never concurrent-safe;
-  /// must complete before any Search* call.
+  /// must complete before any query.
   virtual BuildStats Build(const Dataset& data) = 0;
 
-  /// Answers an exact k-NN query; neighbors are sorted by increasing
-  /// *squared* Euclidean distance. Non-const because adaptive methods
+  /// Answers one query as described by `spec` (see QuerySpec). Validates
+  /// the spec (CHECK-aborts on programmer errors: k == 0, negative
+  /// radius/epsilon, delta outside (0,1], approximate or budgeted range
+  /// queries, budgets under kNgApprox — user input must be validated
+  /// before building a spec), resolves the quality mode against traits(),
+  /// and dispatches. The result records the guarantee actually delivered
+  /// and whether a budget fired. Non-const because adaptive methods
   /// (ADS+) refine their structure during query answering; methods whose
   /// traits().concurrent_queries is true guarantee the call is still safe
   /// from multiple threads on a built index.
-  virtual KnnResult SearchKnn(SeriesView query, size_t k) = 0;
+  QueryResult Execute(SeriesView query, const QuerySpec& spec);
 
-  /// Answers an exact r-range query (`radius` is in distance units, not
-  /// squared). Every method implements it; the lower-bounding machinery of
-  /// SearchKnn prunes with the fixed bound r^2 instead of a shrinking bsf.
-  /// Implementations square the radius, so the non-negative contract is
-  /// enforced here, once, for all of them.
-  RangeResult SearchRange(SeriesView query, double radius) {
-    HYDRA_CHECK_MSG(radius >= 0.0, "range radius must be non-negative");
-    return DoSearchRange(query, radius);
+  /// Legacy entry point (deprecated): exact k-NN, equivalent to
+  /// Execute(query, QuerySpec::Knn(k)).
+  KnnResult SearchKnn(SeriesView query, size_t k) {
+    return Execute(query, QuerySpec::Knn(k));
   }
 
-  /// ng-approximate k-NN (Definition 7): traverses one path of the index,
-  /// visiting at most one leaf, and returns the best candidates found — no
-  /// error guarantee. The default falls back to the exact answer; the tree
-  /// indexes that the paper marks ng-approximate (ADS+, DSTree, iSAX2+,
-  /// SFA; Table 1) override it.
-  virtual KnnResult SearchKnnApproximate(SeriesView query, size_t k) {
-    return SearchKnn(query, k);
+  /// Legacy entry point (deprecated): exact r-range query, equivalent to
+  /// Execute(query, QuerySpec::Range(radius)) (`radius` is in distance
+  /// units, not squared; must be non-negative).
+  RangeResult SearchRange(SeriesView query, double radius) {
+    QueryResult result = Execute(query, QuerySpec::Range(radius));
+    return RangeResult{std::move(result.neighbors), result.stats};
+  }
+
+  /// Legacy entry point (deprecated): ng-approximate k-NN (Definition 7),
+  /// equivalent to Execute(query, QuerySpec::NgApprox(k)). Methods whose
+  /// traits lack ng support answer exactly — the result's delivered()
+  /// reports the fallback.
+  KnnResult SearchKnnApproximate(SeriesView query, size_t k) {
+    return Execute(query, QuerySpec::NgApprox(k));
   }
 
   /// Index footprint; default is an empty footprint (sequential scans).
@@ -139,7 +209,23 @@ class SearchMethod {
   }
 
  protected:
-  /// SearchRange implementation hook; `radius` is guaranteed non-negative.
+  /// k-NN driver hook. The plan carries k plus the pruning knobs derived
+  /// from the spec: bound_scale (epsilon), delta (leaf-visit stopping
+  /// rule, only ever < 1 for methods advertising kDeltaEpsilon), and the
+  /// explicit budgets. The all-defaults plan is the exact search; honoring
+  /// a default plan must be bit-identical to ignoring it. Drivers set
+  /// stats.budget_exhausted when an explicit budget stopped them (never
+  /// for the delta rule) and leave answer_mode_delivered alone (Execute
+  /// owns it). Neighbors are sorted by increasing *squared* distance.
+  virtual KnnResult DoSearchKnn(SeriesView query, const KnnPlan& plan) = 0;
+
+  /// ng-approximate hook (Definition 7): traverse one root-to-leaf path,
+  /// visiting at most one leaf, and return the best candidates found — no
+  /// error guarantee. Only called when traits().supports_ng; the default
+  /// CHECK-aborts so ng-capable methods must override it.
+  virtual KnnResult DoSearchKnnNg(SeriesView query, size_t k);
+
+  /// Range driver hook; `radius` is guaranteed non-negative.
   virtual RangeResult DoSearchRange(SeriesView query, double radius) = 0;
 };
 
@@ -147,6 +233,24 @@ class SearchMethod {
 /// difficulty). Returns neighbors sorted by increasing distance.
 std::vector<Neighbor> BruteForceKnn(const Dataset& data, SeriesView query,
                                     size_t k);
+
+/// Recall of a candidate k-NN answer against the ground truth: the
+/// fraction of the true neighbors the candidate recovered. A candidate
+/// counts as correct when its distance is no worse than the true k-th
+/// distance, so ties at the k-th distance count whichever id the ground
+/// truth kept. The denominator is min(k, truth.size()) — k larger than the
+/// collection cannot push recall below 1 for a complete answer. An empty
+/// truth yields 1.0 (nothing to recover); an empty result yields 0.0.
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& truth, size_t k);
+
+/// Actual-vs-true distance ratio of the worst returned answer (the
+/// companion study's approximation error): sqrt of result.back().dist_sq
+/// over the true distance at the same rank, >= 1 up to rounding. 1.0 when
+/// both are zero; +inf for an empty result (nothing returned) or a zero
+/// true distance under a non-zero answer. CHECK-aborts on empty truth.
+double ApproximationError(const std::vector<Neighbor>& result,
+                          const std::vector<Neighbor>& truth);
 
 }  // namespace hydra::core
 

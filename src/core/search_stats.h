@@ -3,9 +3,42 @@
 #ifndef HYDRA_CORE_SEARCH_STATS_H_
 #define HYDRA_CORE_SEARCH_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 
 namespace hydra::core {
+
+/// Quality guarantee of a query answer, declared from strongest to weakest
+/// so that merging ledgers can keep the weakest guarantee delivered:
+///   kExact        — the true answer (Definition 1 of the paper).
+///   kEpsilon      — every distance within (1+epsilon) of the truth
+///                   (Definition 5; deterministic bound).
+///   kDeltaEpsilon — the epsilon bound holds with probability >= delta
+///                   (Definition 6; probabilistic bound).
+///   kNgApprox     — no guarantee (Definition 7: one-path descent, or any
+///                   answer truncated by an execution budget).
+enum class QualityMode : uint8_t {
+  kExact = 0,
+  kEpsilon = 1,
+  kDeltaEpsilon = 2,
+  kNgApprox = 3,
+};
+
+/// Short stable name of a mode ("exact", "epsilon", ...), used by the CLI
+/// flags and the honest-fallback messages.
+constexpr const char* QualityModeName(QualityMode mode) {
+  switch (mode) {
+    case QualityMode::kExact:
+      return "exact";
+    case QualityMode::kEpsilon:
+      return "epsilon";
+    case QualityMode::kDeltaEpsilon:
+      return "delta-epsilon";
+    case QualityMode::kNgApprox:
+      return "ng";
+  }
+  return "unknown";
+}
 
 /// Per-query measurement ledger. Sequential reads and random seeks follow
 /// the paper's definitions: one random disk access corresponds to one leaf
@@ -38,8 +71,19 @@ struct SearchStats {
   /// *Measured* wall-clock compute seconds of the query. Excludes modeled
   /// I/O time (io::DiskModel derives that from the counters above).
   double cpu_seconds = 0.0;
+  /// Guarantee actually delivered for this answer — set by
+  /// SearchMethod::Execute, never by the traversal drivers. Differs from
+  /// the requested mode when the method does not support it (honest
+  /// fallback) or when a budget truncated the search (no guarantee left).
+  QualityMode answer_mode_delivered = QualityMode::kExact;
+  /// True when an explicit QuerySpec budget (max_visited_leaves /
+  /// max_raw_series) stopped the traversal before it finished.
+  bool budget_exhausted = false;
 
   /// Accumulates `other` into this ledger (all counters and cpu_seconds).
+  /// The delivered mode merges to the *weakest* guarantee of the two and
+  /// budget_exhausted to "any budget fired", so a batch ledger reports the
+  /// guarantee that holds for every query of the batch.
   void Add(const SearchStats& other) {
     distance_computations += other.distance_computations;
     raw_series_examined += other.raw_series_examined;
@@ -49,6 +93,9 @@ struct SearchStats {
     random_seeks += other.random_seeks;
     bytes_read += other.bytes_read;
     cpu_seconds += other.cpu_seconds;
+    answer_mode_delivered =
+        std::max(answer_mode_delivered, other.answer_mode_delivered);
+    budget_exhausted = budget_exhausted || other.budget_exhausted;
   }
 };
 

@@ -42,11 +42,12 @@ core::BuildStats AdsPlus::Build(const core::Dataset& data) {
   return stats;
 }
 
-core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
+                                     const core::KnnPlan& plan) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap heap(k);
+  core::KnnHeap heap(plan.k);
   const core::QueryOrder order(query);
   const size_t segments = options_.segments;
   const auto paa = transform::Paa(query, segments);
@@ -54,6 +55,8 @@ core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
 
   // Phase 1 (ng-approximate): adaptively refine the query path down to the
   // minimal leaf size, then fetch that leaf's series from the raw file.
+  // SIMS visits exactly this one leaf, so max_visited_leaves (>= 1 by
+  // construction) never fires; the raw budget applies from the start.
   std::vector<uint8_t> q_word(segments);
   for (size_t s = 0; s < segments; ++s) {
     q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
@@ -70,6 +73,7 @@ core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
   if (home != nullptr) {
     ++result.stats.nodes_visited;
     for (const core::SeriesId id : home->ids) {
+      if (plan.RawCapReached(&result.stats)) break;
       const core::SeriesView s = raw_->Read(id, &result.stats);
       const double d = order.Distance(s, heap.Bound());
       ++result.stats.distance_computations;
@@ -77,6 +81,15 @@ core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
       evaluated[id] = true;
       heap.Offer(id, d);
     }
+  }
+
+  // A budget exhausted already in phase 1 makes the answer final: skip the
+  // O(N) summary pass and the refinement scan outright — the whole point
+  // of a budget is to keep truncated queries cheap.
+  if (result.stats.budget_exhausted) {
+    result.neighbors = heap.TakeSorted();
+    result.stats.cpu_seconds = timer.Seconds();
+    return result;
   }
 
   // Phase 2: lower bounds against every full-resolution summary (the
@@ -94,16 +107,37 @@ core::KnnResult AdsPlus::SearchKnn(core::SeriesView query, size_t k) {
   }
   result.stats.lower_bound_computations += static_cast<int64_t>(count);
 
+  // The delta stopping rule, over ADS+'s unit of random access: cap the
+  // refinement pass at ceil(delta * candidates-at-start) reads.
+  int64_t delta_cap = core::KnnPlan::kUnlimited;
+  if (plan.delta < 1.0) {
+    int64_t candidates = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (!evaluated[i] && lb[i] < heap.Bound() * plan.bound_scale) {
+        ++candidates;
+      }
+    }
+    delta_cap = plan.DeltaCap(candidates);
+  }
+
   // Phase 3: skip-sequential scan of the raw file over non-pruned series
-  // (series already refined in phase 1 are not re-read).
+  // (series already refined in phase 1 are not re-read). Pruning against
+  // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
+  // within (1+epsilon) of the truth (exact with the default plan).
   raw_->ResetCursor();
-  for (size_t i = 0; i < count; ++i) {
-    if (evaluated[i] || lb[i] >= heap.Bound()) continue;  // skip
+  int64_t refined = 0;
+  for (size_t i = 0; i < count && !result.stats.budget_exhausted; ++i) {
+    if (evaluated[i] || lb[i] >= heap.Bound() * plan.bound_scale) {
+      continue;  // skip
+    }
+    if (plan.RawCapReached(&result.stats)) break;
+    if (refined >= delta_cap) break;  // delta rule: no budget flag
     const core::SeriesView s =
         raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
     const double d = order.Distance(s, heap.Bound());
     ++result.stats.distance_computations;
     ++result.stats.raw_series_examined;
+    ++refined;
     heap.Offer(static_cast<core::SeriesId>(i), d);
   }
 
@@ -149,8 +183,7 @@ core::RangeResult AdsPlus::DoSearchRange(core::SeriesView query,
   return result;
 }
 
-core::KnnResult AdsPlus::SearchKnnApproximate(core::SeriesView query,
-                                              size_t k) {
+core::KnnResult AdsPlus::DoSearchKnnNg(core::SeriesView query, size_t k) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;

@@ -28,23 +28,29 @@ class AdsPlus : public core::SearchMethod {
   explicit AdsPlus(AdsOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "ADS+"; }
-  /// ADS+ is adaptive: SearchKnn splits leaves along the query path
+  /// ADS+ is adaptive: exact queries split leaves along the query path
   /// (mutating the shared iSAX tree) and all queries share one raw-file
-  /// cursor, so the batch engine must keep its queries serial.
+  /// cursor, so the batch engine must keep its queries serial. ng-capable
+  /// tree (Table 1), so every approximate mode is supported; the delta
+  /// rule applies to its skip-sequential candidate list (one series is
+  /// its unit of random access, not one leaf).
   core::MethodTraits traits() const override {
     return {.concurrent_queries = false,
             .serial_reason =
                 "adaptive query-path leaf splitting mutates the shared "
-                "iSAX tree during queries"};
+                "iSAX tree during queries",
+            .supports_ng = true,
+            .supports_epsilon = true,
+            .supports_delta_epsilon = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::KnnResult SearchKnnApproximate(core::SeriesView query,
-                                       size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
+  core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

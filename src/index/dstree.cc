@@ -123,6 +123,7 @@ core::BuildStats DsTree::Build(const core::Dataset& data) {
     }
   }
   stats.random_writes = leaves;
+  leaf_count_ = leaves;
   return stats;
 }
 
@@ -275,12 +276,13 @@ void DsTree::SplitLeaf(Node* leaf) {
 }
 
 void DsTree::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
-                       core::KnnHeap* heap,
+                       const core::KnnPlan& plan, core::KnnHeap* heap,
                        core::SearchStats* stats) const {
   if (leaf.ids.empty()) return;
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
   for (const core::SeriesId id : leaf.ids) {
+    if (plan.RawCapReached(stats)) return;
     const double d = order.Distance((*data_)[id], heap->Bound());
     ++stats->distance_computations;
     ++stats->raw_series_examined;
@@ -288,11 +290,12 @@ void DsTree::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
   }
 }
 
-core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult DsTree::DoSearchKnn(core::SeriesView query,
+                                    const core::KnnPlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
@@ -307,9 +310,13 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
   }
   ++result.stats.nodes_visited;
   const Node* home = node;
-  VisitLeaf(*home, order, &heap, &result.stats);
+  VisitLeaf(*home, order, plan, &heap, &result.stats);
+  int64_t leaves_visited = 1;
 
-  // Exact best-first traversal with the EAPCA node lower bound.
+  // Best-first traversal with the EAPCA node lower bound. Pruning against
+  // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
+  // within (1+epsilon) of the truth; with the default plan this is the
+  // exact search, bit for bit.
   struct Item {
     double lb;
     const Node* node;
@@ -319,14 +326,19 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
   };
   std::priority_queue<Item> pq;
   pq.push({0.0, root_.get()});
-  while (!pq.empty()) {
+  while (!pq.empty() && !result.stats.budget_exhausted) {
     const Item item = pq.top();
     pq.pop();
-    if (item.lb >= heap.Bound()) break;
+    if (item.lb >= heap.Bound() * plan.bound_scale) break;
     ++result.stats.nodes_visited;
     if (item.node->is_leaf) {
       if (item.node != home) {
-        VisitLeaf(*item.node, order, &heap, &result.stats);
+        if (plan.LeafCapReached(leaves_visited, leaf_count_,
+                                &result.stats)) {
+          break;
+        }
+        VisitLeaf(*item.node, order, plan, &heap, &result.stats);
+        ++leaves_visited;
       }
       continue;
     }
@@ -337,7 +349,7 @@ core::KnnResult DsTree::SearchKnn(core::SeriesView query, size_t k) {
       const double lb =
           transform::EapcaNodeLbSq(q_stats, child->ranges, child->seg);
       ++result.stats.lower_bound_computations;
-      if (lb < heap.Bound()) pq.push({lb, child});
+      if (lb < heap.Bound() * plan.bound_scale) pq.push({lb, child});
     }
   }
 
@@ -390,8 +402,7 @@ core::RangeResult DsTree::DoSearchRange(core::SeriesView query,
   return result;
 }
 
-core::KnnResult DsTree::SearchKnnApproximate(core::SeriesView query,
-                                             size_t k) {
+core::KnnResult DsTree::DoSearchKnnNg(core::SeriesView query, size_t k) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
@@ -409,7 +420,7 @@ core::KnnResult DsTree::SearchKnnApproximate(core::SeriesView query,
     node = (v <= node->split_value ? node->left : node->right).get();
   }
   ++result.stats.nodes_visited;
-  VisitLeaf(*node, order, &heap, &result.stats);
+  VisitLeaf(*node, order, core::KnnPlan{.k = k}, &heap, &result.stats);
   heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;

@@ -31,18 +31,24 @@ class DsTree : public core::SearchMethod {
 
   std::string name() const override { return "DSTree"; }
   /// The tree is immutable after Build (queries only read nodes and the
-  /// dataset), so queries can run concurrently.
+  /// dataset), so queries can run concurrently. ng-capable tree (Table 1),
+  /// so every approximate mode is supported.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .supports_ng = true,
+            .supports_epsilon = true,
+            .supports_delta_epsilon = true,
+            .leaf_visit_budget = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::KnnResult SearchKnnApproximate(core::SeriesView query,
-                                       size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
+  core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 
@@ -63,12 +69,16 @@ class DsTree : public core::SearchMethod {
 
   void Insert(core::SeriesId id, const Prefix& p);
   void SplitLeaf(Node* leaf);
+  /// Scans a leaf's raw series into the heap, honoring the plan's raw
+  /// budget (sets stats->budget_exhausted and stops when it fires).
   void VisitLeaf(const Node& leaf, const core::QueryOrder& order,
-                 core::KnnHeap* heap, core::SearchStats* stats) const;
+                 const core::KnnPlan& plan, core::KnnHeap* heap,
+                 core::SearchStats* stats) const;
 
   DsTreeOptions options_;
   const core::Dataset* data_ = nullptr;
   std::unique_ptr<Node> root_;
+  int64_t leaf_count_ = 0;  // at Build time; the delta leaf-visit rule
 };
 
 }  // namespace hydra::index

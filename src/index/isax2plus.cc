@@ -1,6 +1,7 @@
 #include "index/isax2plus.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/distance.h"
 #include "transform/paa.h"
@@ -38,16 +39,19 @@ core::BuildStats Isax2Plus::Build(const core::Dataset& data) {
   // Leaf materialization: the raw collection is clustered into leaf files.
   stats.bytes_written = static_cast<int64_t>(data.bytes());
   stats.random_writes = tree_->StructureFootprint().leaf_nodes;
+  leaf_count_ = stats.random_writes;
   return stats;
 }
 
 void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,
-                          const core::QueryOrder& order, core::KnnHeap* heap,
+                          const core::QueryOrder& order,
+                          const core::KnnPlan& plan, core::KnnHeap* heap,
                           core::SearchStats* stats) const {
   if (leaf.ids.empty()) return;
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
   for (const core::SeriesId id : leaf.ids) {
+    if (plan.RawCapReached(stats)) return;
     const double d = order.Distance((*data_)[id], heap->Bound());
     ++stats->distance_computations;
     ++stats->raw_series_examined;
@@ -55,11 +59,12 @@ void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,
   }
 }
 
-core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult Isax2Plus::DoSearchKnn(core::SeriesView query,
+                                       const core::KnnPlan& plan) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
@@ -70,17 +75,44 @@ core::KnnResult Isax2Plus::SearchKnn(core::SeriesView query, size_t k) {
     q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
   }
   IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
+  int64_t leaves_visited = 0;
   if (home != nullptr) {
     ++result.stats.nodes_visited;
-    VisitLeaf(*home, order, &heap, &result.stats);
+    VisitLeaf(*home, order, plan, &heap, &result.stats);
+    ++leaves_visited;
   }
 
-  // Exact phase: best-first traversal pruned by the bsf.
+  // A budget exhausted already in the home leaf makes the answer final:
+  // skip the traversal outright rather than paying its first-level
+  // MINDIST fan-out just to have the -inf bound prune everything.
+  if (result.stats.budget_exhausted) {
+    heap.ExtractSortedTo(&result.neighbors);
+    result.stats.cpu_seconds = timer.Seconds();
+    return result;
+  }
+
+  // Best-first traversal pruned against bsf/(1+epsilon)^2
+  // (plan.bound_scale; exact with the default plan). Once a cap fires the
+  // bound closure collapses to -inf, which stops the tree traversal on
+  // its next pop.
+  bool stop = false;
   tree_->BestFirstSearch(
-      paa, pps, [&] { return heap.Bound(); },
+      paa, pps,
+      [&]() -> double {
+        if (stop || result.stats.budget_exhausted) {
+          return -std::numeric_limits<double>::infinity();
+        }
+        return heap.Bound() * plan.bound_scale;
+      },
       [&](IsaxTree::Node* leaf) {
-        if (leaf == home) return;  // already scanned
-        VisitLeaf(*leaf, order, &heap, &result.stats);
+        if (stop || result.stats.budget_exhausted || leaf == home) return;
+        if (plan.LeafCapReached(leaves_visited, leaf_count_,
+                                &result.stats)) {
+          stop = true;
+          return;
+        }
+        VisitLeaf(*leaf, order, plan, &heap, &result.stats);
+        ++leaves_visited;
       },
       &result.stats);
 
@@ -120,8 +152,7 @@ core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
   return result;
 }
 
-core::KnnResult Isax2Plus::SearchKnnApproximate(core::SeriesView query,
-                                                size_t k) {
+core::KnnResult Isax2Plus::DoSearchKnnNg(core::SeriesView query, size_t k) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
@@ -138,7 +169,7 @@ core::KnnResult Isax2Plus::SearchKnnApproximate(core::SeriesView query,
   IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
   if (home != nullptr) {
     ++result.stats.nodes_visited;
-    VisitLeaf(*home, order, &heap, &result.stats);
+    VisitLeaf(*home, order, core::KnnPlan{.k = k}, &heap, &result.stats);
   }
   heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();

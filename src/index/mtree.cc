@@ -213,19 +213,16 @@ void MTree::SplitNode(Node* node, std::unique_ptr<Node>* out_left,
   *out_right = std::move(right);
 }
 
-core::KnnResult MTree::SearchKnn(core::SeriesView query, size_t k) {
-  return SearchKnnEpsApproximate(query, k, /*epsilon=*/0.0);
-}
-
-core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
-                                               size_t k, double epsilon) {
+core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
+                                   const core::KnnPlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
-  HYDRA_CHECK(epsilon >= 0.0);
   // Pruning against bsf/(1+eps) guarantees d(result) <= (1+eps) * d(true).
-  const double shrink = 1.0 / (1.0 + epsilon);
+  const double shrink = 1.0 / (1.0 + plan.epsilon);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);  // squared, like all methods
+  int64_t leaves_visited = 0;
+  core::KnnHeap& heap =
+      core::ScratchKnnHeap(plan.k);  // squared, like all methods
 
   struct Item {
     double dmin;         // lower bound on the distance to any member
@@ -239,7 +236,7 @@ core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
   std::priority_queue<Item> pq;
   pq.push({std::max(0.0, root_dist - root_->radius), root_dist, root_.get()});
 
-  while (!pq.empty()) {
+  while (!pq.empty() && !result.stats.budget_exhausted) {
     const Item item = pq.top();
     pq.pop();
     const double bsf = std::sqrt(heap.Bound()) * shrink;
@@ -247,12 +244,17 @@ core::KnnResult MTree::SearchKnnEpsApproximate(core::SeriesView query,
     ++result.stats.nodes_visited;
     const Node* node = item.node;
     if (node->is_leaf) {
+      // No delta rule on the M-tree (leaf_count 0), so only the explicit
+      // budget can bind here.
+      if (plan.LeafCapReached(leaves_visited, 0, &result.stats)) break;
+      ++leaves_visited;
       for (const auto& [id, dist_to_center] : node->entries) {
         // Triangle-inequality filter using the precomputed distance.
         if (std::fabs(item.dist_center - dist_to_center) >=
             std::sqrt(heap.Bound()) * shrink) {
           continue;
         }
+        if (plan.RawCapReached(&result.stats)) break;
         const double d = DistToQuery(query, id, &result.stats);
         ++result.stats.raw_series_examined;
         heap.Offer(id, d * d);

@@ -29,22 +29,34 @@ class MTree : public core::SearchMethod {
 
   std::string name() const override { return "M-tree"; }
   /// The tree is immutable after Build, so queries can run concurrently.
+  /// Table 1 marks the M-tree epsilon-approximate; it has no ng one-path
+  /// descent and no delta rule.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .supports_epsilon = true,
+            .leaf_visit_budget = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 
-  /// epsilon-approximate k-NN (Definition 5 of the paper; Table 1 marks the
-  /// M-tree as supporting it): every result is within (1+epsilon) of the
-  /// true k-th NN distance. Subtrees are pruned against bsf/(1+epsilon), so
-  /// larger epsilon trades accuracy for fewer distance computations.
-  /// epsilon == 0 is the exact search.
+  /// Legacy entry point (deprecated): epsilon-approximate k-NN
+  /// (Definition 5; Table 1 marks the M-tree as supporting it), equivalent
+  /// to Execute(query, QuerySpec::Epsilon(k, epsilon)). Every result is
+  /// within (1+epsilon) of the true k-th NN distance; epsilon == 0 is the
+  /// exact search.
   core::KnnResult SearchKnnEpsApproximate(core::SeriesView query, size_t k,
-                                          double epsilon);
+                                          double epsilon) {
+    return Execute(query, core::QuerySpec::Epsilon(k, epsilon));
+  }
   core::Footprint footprint() const override;
 
  protected:
+  /// Subtrees are pruned against bsf/(1+epsilon) — the M-tree works on
+  /// unsquared distances, so it reads plan.epsilon rather than the squared
+  /// plan.bound_scale — and larger epsilon trades accuracy for fewer
+  /// distance computations.
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

@@ -342,11 +342,12 @@ void RStarTree::SplitNode(Node* node, std::vector<Node*>& path) {
   }
 }
 
-core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult RStarTree::DoSearchKnn(core::SeriesView query,
+                                       const core::KnnPlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   // Per-query raw-file cursor: concurrent queries must not share one.
   io::CountedStorage raw(data_);
@@ -361,20 +362,29 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
       return lb > other.lb;
     }
   };
+  int64_t leaves_visited = 0;
+  // MINDIST pruning against bsf/(1+epsilon)^2 (plan.bound_scale) keeps
+  // every reported distance within (1+epsilon) of the truth (exact with
+  // the default plan).
   std::priority_queue<Item> pq;
   pq.push({0.0, root_.get()});
-  while (!pq.empty()) {
+  while (!pq.empty() && !result.stats.budget_exhausted) {
     const Item item = pq.top();
     pq.pop();
-    if (item.lb >= heap.Bound()) break;
+    if (item.lb >= heap.Bound() * plan.bound_scale) break;
     ++result.stats.nodes_visited;
     if (item.node->is_leaf()) {
+      // No delta rule on the R*-tree (leaf_count 0), so only the explicit
+      // budget can bind here.
+      if (plan.LeafCapReached(leaves_visited, 0, &result.stats)) break;
+      ++leaves_visited;
       // One random access per leaf; surviving pointers fetch raw series.
       ++result.stats.random_seeks;
       for (const Entry& e : item.node->entries) {
         const double lb = e.rect.MinDistSqTo(q);
         ++result.stats.lower_bound_computations;
-        if (lb >= heap.Bound()) continue;
+        if (lb >= heap.Bound() * plan.bound_scale) continue;
+        if (plan.RawCapReached(&result.stats)) break;
         const core::SeriesView s = raw.Read(e.id, &result.stats);
         const double d = order.Distance(s, heap.Bound());
         ++result.stats.distance_computations;
@@ -386,7 +396,7 @@ core::KnnResult RStarTree::SearchKnn(core::SeriesView query, size_t k) {
     for (const Entry& e : item.node->entries) {
       const double lb = e.rect.MinDistSqTo(q);
       ++result.stats.lower_bound_computations;
-      if (lb < heap.Bound()) pq.push({lb, e.child.get()});
+      if (lb < heap.Bound() * plan.bound_scale) pq.push({lb, e.child.get()});
     }
   }
 

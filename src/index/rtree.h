@@ -29,16 +29,22 @@ class RStarTree : public core::SearchMethod {
 
   std::string name() const override { return "R*-tree"; }
   /// The tree is immutable after Build and each query reads the raw file
-  /// through its own cursor, so queries can run concurrently.
+  /// through its own cursor, so queries can run concurrently. MINDIST
+  /// pruning admits the epsilon relaxation; there is no ng descent (the
+  /// tree is not a covering trie) and no delta rule.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .supports_epsilon = true,
+            .leaf_visit_budget = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

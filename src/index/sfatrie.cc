@@ -77,6 +77,7 @@ core::BuildStats SfaTrie::Build(const core::Dataset& data) {
   stats.random_reads = 1;
   stats.bytes_written = static_cast<int64_t>(data.bytes());
   stats.random_writes = footprint().leaf_nodes;
+  leaf_count_ = stats.random_writes;
   return stats;
 }
 
@@ -158,12 +159,13 @@ double SfaTrie::NodeLowerBound(std::span<const double> q_dft,
 }
 
 void SfaTrie::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
-                        core::KnnHeap* heap,
+                        const core::KnnPlan& plan, core::KnnHeap* heap,
                         core::SearchStats* stats) const {
   if (leaf.ids.empty()) return;
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
   for (const core::SeriesId id : leaf.ids) {
+    if (plan.RawCapReached(stats)) return;
     const double d = order.Distance((*data_)[id], heap->Bound());
     ++stats->distance_computations;
     ++stats->raw_series_examined;
@@ -171,11 +173,12 @@ void SfaTrie::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
   }
 }
 
-core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult SfaTrie::DoSearchKnn(core::SeriesView query,
+                                     const core::KnnPlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
@@ -189,12 +192,16 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
     node = next;
   }
   const Node* home = node->is_leaf ? node : nullptr;
+  int64_t leaves_visited = 0;
   if (home != nullptr) {
     ++result.stats.nodes_visited;
-    VisitLeaf(*home, order, &heap, &result.stats);
+    VisitLeaf(*home, order, plan, &heap, &result.stats);
+    ++leaves_visited;
   }
 
-  // Exact best-first traversal with the MBR lower bound.
+  // Best-first traversal with the MBR lower bound; pruning against
+  // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
+  // within (1+epsilon) of the truth (exact with the default plan).
   struct Item {
     double lb;
     const Node* node;
@@ -204,14 +211,19 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
   };
   std::priority_queue<Item> pq;
   pq.push({0.0, root_.get()});
-  while (!pq.empty()) {
+  while (!pq.empty() && !result.stats.budget_exhausted) {
     const Item item = pq.top();
     pq.pop();
-    if (item.lb >= heap.Bound()) break;
+    if (item.lb >= heap.Bound() * plan.bound_scale) break;
     ++result.stats.nodes_visited;
     if (item.node->is_leaf) {
       if (item.node != home) {
-        VisitLeaf(*item.node, order, &heap, &result.stats);
+        if (plan.LeafCapReached(leaves_visited, leaf_count_,
+                                &result.stats)) {
+          break;
+        }
+        VisitLeaf(*item.node, order, plan, &heap, &result.stats);
+        ++leaves_visited;
       }
       continue;
     }
@@ -219,7 +231,7 @@ core::KnnResult SfaTrie::SearchKnn(core::SeriesView query, size_t k) {
       if (slot == nullptr || slot->count == 0) continue;
       const double lb = NodeLowerBound(q_dft, *slot);
       ++result.stats.lower_bound_computations;
-      if (lb < heap.Bound()) pq.push({lb, slot.get()});
+      if (lb < heap.Bound() * plan.bound_scale) pq.push({lb, slot.get()});
     }
   }
 
@@ -268,8 +280,7 @@ core::RangeResult SfaTrie::DoSearchRange(core::SeriesView query,
   return result;
 }
 
-core::KnnResult SfaTrie::SearchKnnApproximate(core::SeriesView query,
-                                              size_t k) {
+core::KnnResult SfaTrie::DoSearchKnnNg(core::SeriesView query, size_t k) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
@@ -300,7 +311,7 @@ core::KnnResult SfaTrie::SearchKnnApproximate(core::SeriesView query,
   }
   if (node->is_leaf) {
     ++result.stats.nodes_visited;
-    VisitLeaf(*node, order, &heap, &result.stats);
+    VisitLeaf(*node, order, core::KnnPlan{.k = k}, &heap, &result.stats);
   }
   heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();

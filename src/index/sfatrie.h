@@ -33,17 +33,23 @@ class SfaTrie : public core::SearchMethod {
 
   std::string name() const override { return "SFA"; }
   /// The trie is immutable after Build, so queries can run concurrently.
+  /// ng-capable tree (Table 1), so every approximate mode is supported.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .supports_ng = true,
+            .supports_epsilon = true,
+            .supports_delta_epsilon = true,
+            .leaf_visit_budget = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
-  core::KnnResult SearchKnnApproximate(core::SeriesView query,
-                                       size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
+  core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 
@@ -52,8 +58,11 @@ class SfaTrie : public core::SearchMethod {
 
   void Insert(core::SeriesId id, Node* node);
   void SplitLeaf(Node* leaf);
+  /// Scans a leaf's raw series into the heap, honoring the plan's raw
+  /// budget (sets stats->budget_exhausted and stops when it fires).
   void VisitLeaf(const Node& leaf, const core::QueryOrder& order,
-                 core::KnnHeap* heap, core::SearchStats* stats) const;
+                 const core::KnnPlan& plan, core::KnnHeap* heap,
+                 core::SearchStats* stats) const;
   double NodeLowerBound(std::span<const double> q_dft, const Node& node) const;
 
   SfaTrieOptions options_;
@@ -62,6 +71,7 @@ class SfaTrie : public core::SearchMethod {
   std::vector<double> dfts_;     // flat word_length doubles per series
   std::vector<uint8_t> words_;   // flat word_length symbols per series
   std::unique_ptr<Node> root_;
+  int64_t leaf_count_ = 0;  // at Build time; the delta leaf-visit rule
 };
 
 }  // namespace hydra::index

@@ -50,7 +50,8 @@ core::BuildStats VaFile::Build(const core::Dataset& data) {
   return stats;
 }
 
-core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,
+                                    const core::KnnPlan& plan) {
   HYDRA_CHECK(data_ != nullptr);
   util::WallTimer timer;
   core::KnnResult result;
@@ -72,7 +73,7 @@ core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
   // The scratch heap serves both phases in turn: phase 1 only needs the
   // k-th best upper bound, which is extracted before the Reset.
   std::vector<double> lb(count);
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   for (size_t i = 0; i < count; ++i) {
     const std::span<const uint16_t> cell(cells_.data() + i * dims, dims);
     lb[i] = quantizer_.CellLowerBoundSq(q_dft, cell);
@@ -87,13 +88,39 @@ core::KnnResult VaFile::SearchKnn(core::SeriesView query, size_t k) {
   double bound = heap.Bound();
 
   // Phase 2: skip-sequential refinement of candidates in file order.
-  heap.Reset(k);
+  //
+  // The exact path prunes and early-abandons against `bound`, the running
+  // min of the phase-1 upper-bound estimate and the heap's k-th actual
+  // distance. Abandoned partial distances may then enter a not-yet-full
+  // heap, which is sound only because the exact path always refines the
+  // true top-k afterwards and evicts them. A plan that can stop early
+  // (epsilon shrink or a raw budget) loses that eviction guarantee, so it
+  // switches to the tree-style abandon discipline: abandon against
+  // heap.Bound() — +inf until the heap holds k, so every resident value
+  // is an exact distance, and any abandoned value is rejected by the
+  // heap. The epsilon modes additionally prune against heap.Bound() *
+  // bound_scale (= bsf/(1+epsilon)^2) once the heap is full, which is
+  // what makes every reported distance provably within (1+epsilon) of the
+  // truth; until then the exact criterion applies unshrunken, so a large
+  // epsilon cannot prune everything and return an empty answer.
+  // A budget alone (no epsilon) keeps the exact prune criterion — it must
+  // only cap work, never add it — but still needs the exact-values
+  // abandon discipline so a truncated answer reports true distances.
+  const bool shrunken = plan.bound_scale != 1.0;
+  const bool exact_values =
+      shrunken || plan.max_raw != core::KnnPlan::kUnlimited;
+  heap.Reset(plan.k);
   for (size_t i = 0; i < count; ++i) {
     bound = std::min(bound, heap.Bound());
-    if (lb[i] >= bound) continue;
+    if (shrunken && heap.size() >= plan.k) {
+      if (lb[i] >= heap.Bound() * plan.bound_scale) continue;
+    } else {
+      if (lb[i] >= bound) continue;
+    }
+    if (plan.RawCapReached(&result.stats)) break;
     const core::SeriesView s =
         raw.Read(static_cast<core::SeriesId>(i), &result.stats);
-    const double d = order.Distance(s, bound);
+    const double d = order.Distance(s, exact_values ? heap.Bound() : bound);
     ++result.stats.distance_computations;
     ++result.stats.raw_series_examined;
     heap.Offer(static_cast<core::SeriesId>(i), d);

@@ -33,15 +33,21 @@ class VaFile : public core::SearchMethod {
   std::string name() const override { return "VA+file"; }
   /// The approximation file is immutable after Build and each query reads
   /// the raw file through its own cursor, so queries can run concurrently.
+  /// Cell lower bounds admit the epsilon relaxation; there are no leaves,
+  /// so ng and the delta rule do not apply (and the max_visited_leaves
+  /// budget can never fire).
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .supports_epsilon = true};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

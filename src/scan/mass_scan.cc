@@ -23,7 +23,9 @@ core::BuildStats MassScan::Build(const core::Dataset& data) {
 }
 
 template <typename Offer>
-core::SearchStats MassScan::ScanAll(core::SeriesView query, Offer&& offer) {
+core::SearchStats MassScan::ScanAll(core::SeriesView query,
+                                    const core::KnnPlan& plan,
+                                    Offer&& offer) {
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;
@@ -43,9 +45,10 @@ core::SearchStats MassScan::ScanAll(core::SeriesView query, Offer&& offer) {
 
   core::SearchStats stats;
   io::ChargeScanStart(&stats);
-  io::ChargeSequentialRead(data_->size(), n * sizeof(core::Value), &stats);
   std::vector<std::complex<double>> buf(fft_size);
   for (size_t i = 0; i < data_->size(); ++i) {
+    if (plan.RawCapReached(&stats)) break;
+    ++stats.raw_series_examined;
     const core::SeriesView c = (*data_)[i];
     std::fill(buf.begin(), buf.end(), std::complex<double>(0.0, 0.0));
     for (size_t j = 0; j < n; ++j) buf[j] = std::complex<double>(c[j], 0.0);
@@ -57,15 +60,19 @@ core::SearchStats MassScan::ScanAll(core::SeriesView query, Offer&& offer) {
     ++stats.distance_computations;
     offer(static_cast<core::SeriesId>(i), std::max(0.0, dist_sq));
   }
-  stats.raw_series_examined = static_cast<int64_t>(data_->size());
+  // Only the series actually scanned are charged (a budgeted scan is a
+  // prefix scan).
+  io::ChargeSequentialRead(static_cast<size_t>(stats.raw_series_examined),
+                           n * sizeof(core::Value), &stats);
   stats.cpu_seconds = timer.Seconds();
   return stats;
 }
 
-core::KnnResult MassScan::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult MassScan::DoSearchKnn(core::SeriesView query,
+                                      const core::KnnPlan& plan) {
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
-  result.stats = ScanAll(query, [&](core::SeriesId id, double dist_sq) {
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  result.stats = ScanAll(query, plan, [&](core::SeriesId id, double dist_sq) {
     heap.Offer(id, dist_sq);
   });
   heap.ExtractSortedTo(&result.neighbors);
@@ -76,9 +83,10 @@ core::RangeResult MassScan::DoSearchRange(core::SeriesView query,
                                           double radius) {
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
-  result.stats = ScanAll(query, [&](core::SeriesId id, double dist_sq) {
-    collector.Offer(id, dist_sq);
-  });
+  result.stats = ScanAll(query, core::KnnPlan{},
+                         [&](core::SeriesId id, double dist_sq) {
+                           collector.Offer(id, dist_sq);
+                         });
   result.matches = collector.TakeSorted();
   return result;
 }

@@ -18,21 +18,27 @@ class MassScan : public core::SearchMethod {
  public:
   std::string name() const override { return "MASS"; }
   /// Queries only read the dataset and the precomputed norms, so they can
-  /// run concurrently.
+  /// run concurrently. Exact-only: every distance is computed through the
+  /// Fourier domain with no bound to relax (approximate modes fall back to
+  /// exact, reported); the max_raw_series budget truncates the scan.
   core::MethodTraits traits() const override {
     return {.concurrent_queries = true, .serial_reason = ""};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 
  private:
-  /// Computes all Fourier-domain distances, feeding each into `offer`.
+  /// Computes Fourier-domain distances for the first min(size, plan
+  /// max_raw) series, feeding each into `offer`; sets budget_exhausted
+  /// when the cap truncated the pass.
   template <typename Offer>
-  core::SearchStats ScanAll(core::SeriesView query, Offer&& offer);
+  core::SearchStats ScanAll(core::SeriesView query,
+                            const core::KnnPlan& plan, Offer&& offer);
 
  private:
   const core::Dataset* data_ = nullptr;

@@ -60,9 +60,11 @@ core::BuildStats Stepwise::Build(const core::Dataset& data) {
   return stats;
 }
 
-core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult Stepwise::DoSearchKnn(core::SeriesView query,
+                                      const core::KnnPlan& plan) {
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
+  const size_t k = plan.k;
   util::WallTimer timer;
   const size_t count = data_->size();
 
@@ -131,10 +133,13 @@ core::KnnResult Stepwise::SearchKnn(core::SeriesView query, size_t k) {
   }
 
   // Final refinement on the raw file (random access per surviving run).
+  // The max_raw budget truncates this pass: coefficient-level filtering
+  // reads level files, not raw series, so the budget binds only here.
   core::KnnHeap& heap = core::ScratchKnnHeap(k);
   io::CountedStorage raw(data_);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   for (const core::SeriesId id : survivors) {
+    if (plan.RawCapReached(&result.stats)) break;
     const core::SeriesView c = raw.Read(id, &result.stats);
     const double d = order.Distance(c, heap.Bound());
     ++result.stats.distance_computations;

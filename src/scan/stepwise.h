@@ -29,14 +29,18 @@ class Stepwise : public core::SearchMethod {
 
   std::string name() const override { return "Stepwise"; }
   /// Coefficient files are immutable after Build and every query uses its
-  /// own cursors, so queries can run concurrently.
+  /// own cursors, so queries can run concurrently. Exact-only: the
+  /// coefficient-level filter has no epsilon relaxation here (approximate
+  /// modes fall back to exact, reported); the max_raw_series budget
+  /// truncates the final raw-refinement pass.
   core::MethodTraits traits() const override {
     return {.concurrent_queries = true, .serial_reason = ""};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

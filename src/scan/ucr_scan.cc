@@ -11,23 +11,28 @@ core::BuildStats UcrScan::Build(const core::Dataset& data) {
   return core::BuildStats{};  // no preprocessing
 }
 
-core::KnnResult UcrScan::SearchKnn(core::SeriesView query, size_t k) {
+core::KnnResult UcrScan::DoSearchKnn(core::SeriesView query,
+                                     const core::KnnPlan& plan) {
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;
 
   core::KnnResult result;
-  core::KnnHeap& heap = core::ScratchKnnHeap(k);
+  core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   io::ChargeScanStart(&result.stats);
-  io::ChargeSequentialRead(data_->size(), data_->length() * sizeof(core::Value),
-                           &result.stats);
+  // Only the series actually scanned are charged: the max_raw budget
+  // truncates the sequential pass (a budgeted scan is a prefix scan).
   for (size_t i = 0; i < data_->size(); ++i) {
+    if (plan.RawCapReached(&result.stats)) break;
     const double d = order.Distance((*data_)[i], heap.Bound());
     ++result.stats.distance_computations;
+    ++result.stats.raw_series_examined;
     heap.Offer(static_cast<core::SeriesId>(i), d);
   }
-  result.stats.raw_series_examined = static_cast<int64_t>(data_->size());
+  io::ChargeSequentialRead(
+      static_cast<size_t>(result.stats.raw_series_examined),
+      data_->length() * sizeof(core::Value), &result.stats);
   heap.ExtractSortedTo(&result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;

@@ -15,14 +15,17 @@ class UcrScan : public core::SearchMethod {
  public:
   std::string name() const override { return "UCR-Suite"; }
   /// Stateless after Build (queries only read the dataset), so queries can
-  /// run concurrently.
+  /// run concurrently. Exact-only: a scan has no summaries to relax a
+  /// bound against (approximate modes fall back to exact, reported); the
+  /// max_raw_series budget truncates the scan.
   core::MethodTraits traits() const override {
     return {.concurrent_queries = true, .serial_reason = ""};
   }
   core::BuildStats Build(const core::Dataset& data) override;
-  core::KnnResult SearchKnn(core::SeriesView query, size_t k) override;
 
  protected:
+  core::KnnResult DoSearchKnn(core::SeriesView query,
+                              const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
                                   double radius) override;
 

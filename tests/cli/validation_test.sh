@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Input-validation gate for the hydra CLI's QuerySpec flags: every
+# malformed value and every unsupported mode+method combination must exit
+# 1 with a clean message (never a CHECK abort / non-1 status), and valid
+# specs must run. Usage: validation_test.sh <path-to-hydra-binary>
+set -u
+
+bin="${1:?usage: validation_test.sh <hydra binary>}"
+fails=0
+
+# expect_err <description> <required stderr substring> <cli args...>
+expect_err() {
+  local desc="$1" want="$2"
+  shift 2
+  local out rc
+  out=$("$bin" "$@" 2>&1)
+  rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "FAIL ($desc): exit $rc, want 1 — output: $out"
+    fails=1
+  fi
+  case "$out" in
+    *"$want"*) ;;
+    *)
+      echo "FAIL ($desc): expected '$want' in output: $out"
+      fails=1
+      ;;
+  esac
+}
+
+# expect_ok <description> <cli args...>
+expect_ok() {
+  local desc="$1"
+  shift
+  if ! "$bin" "$@" >/dev/null 2>&1; then
+    echo "FAIL ($desc): expected success"
+    fails=1
+  fi
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+d="$tmp/d.bin"
+"$bin" gen synth 400 64 3 "$d" >/dev/null || {
+  echo "FAIL: could not generate the probe dataset"
+  exit 1
+}
+
+# --epsilon: strict ParseDouble — reject NaN, inf, negatives, junk.
+expect_err "epsilon nan" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon nan
+expect_err "epsilon inf" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon inf
+expect_err "epsilon overflow" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon 1e999
+expect_err "epsilon negative" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon -0.5
+expect_err "epsilon trailing junk" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon 0.5x
+expect_err "epsilon hex float" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon 0x5
+expect_err "epsilon empty-ish" "--epsilon must be" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon +1
+expect_err "epsilon missing value" "--epsilon needs a value" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon
+
+# --delta: strict ParseDouble plus the (0, 1] domain.
+expect_err "delta zero" "--delta must lie in (0, 1]" \
+  query "$d" DSTree 3 2 --mode delta-epsilon --epsilon 1 --delta 0
+expect_err "delta above one" "--delta must lie in (0, 1]" \
+  query "$d" DSTree 3 2 --mode delta-epsilon --epsilon 1 --delta 1.5
+expect_err "delta nan" "--delta must lie in (0, 1]" \
+  query "$d" DSTree 3 2 --mode delta-epsilon --epsilon 1 --delta nan
+expect_err "delta junk" "--delta must lie in (0, 1]" \
+  query "$d" DSTree 3 2 --mode delta-epsilon --epsilon 1 --delta 0.5e
+
+# Flag consistency.
+expect_err "unknown mode" "unknown mode" \
+  query "$d" DSTree 3 2 --mode fast
+expect_err "epsilon without mode" "--epsilon requires --mode" \
+  query "$d" DSTree 3 2 --epsilon 0.5
+expect_err "epsilon mode without value" "--mode epsilon requires --epsilon" \
+  query "$d" DSTree 3 2 --mode epsilon
+expect_err "delta-epsilon mode without delta" \
+  "--mode delta-epsilon requires --delta" \
+  query "$d" DSTree 3 2 --mode delta-epsilon --epsilon 1
+expect_err "delta without mode" "--delta requires --mode delta-epsilon" \
+  query "$d" DSTree 3 2 --mode epsilon --epsilon 1 --delta 0.5
+expect_err "budget under ng" "budgets do not apply to --mode ng" \
+  query "$d" DSTree 3 2 --mode ng --max-leaves 2
+expect_err "max-leaves zero" "--max-leaves must be a positive integer" \
+  query "$d" DSTree 3 2 --max-leaves 0
+expect_err "max-raw junk" "--max-raw must be a positive integer" \
+  query "$d" DSTree 3 2 --max-raw 10x
+expect_err "leaf budget on a scan" "no leaf-visit budget unit" \
+  query "$d" UCR-Suite 3 2 --max-leaves 5
+expect_err "leaf budget on VA+file" "no leaf-visit budget unit" \
+  query "$d" VA+file 3 2 --max-leaves 5
+expect_err "leaf budget on ADS+" "no leaf-visit budget unit" \
+  query "$d" ADS+ 3 2 --max-leaves 5
+expect_err "spec flags on range" "only supported by 'query'" \
+  range "$d" DSTree 5 2 --mode epsilon
+
+# Unsupported mode+method combinations exit 1 with the traits-derived
+# reason (scans are exact-only; M-tree has no ng descent).
+expect_err "scan epsilon" "method supports modes: exact" \
+  query "$d" UCR-Suite 3 2 --mode epsilon --epsilon 0.5
+expect_err "scan ng" "UCR-Suite does not support --mode ng" \
+  query "$d" UCR-Suite 3 2 --mode ng
+expect_err "mtree ng" "method supports modes: exact, epsilon" \
+  query "$d" M-tree 3 2 --mode ng
+expect_err "mtree delta-epsilon" "M-tree does not support --mode delta-epsilon" \
+  query "$d" M-tree 3 2 --mode delta-epsilon --epsilon 1 --delta 0.5
+
+# Valid specs run end to end.
+expect_ok "exact default" query "$d" DSTree 3 2
+expect_ok "explicit exact" query "$d" DSTree 3 2 --mode exact
+expect_ok "epsilon" query "$d" DSTree 3 2 --mode epsilon --epsilon 0.5
+expect_ok "delta-epsilon" \
+  query "$d" SFA 3 2 --mode delta-epsilon --epsilon 1 --delta 0.25
+expect_ok "ng" query "$d" iSAX2+ 3 2 --mode ng
+expect_ok "budgeted exact" query "$d" DSTree 3 2 --max-raw 50 --max-leaves 2
+expect_ok "mtree epsilon" query "$d" M-tree 3 2 --mode epsilon --epsilon 2
+
+if [ "$fails" -ne 0 ]; then
+  echo "cli_validation_test: FAILED"
+  exit 1
+fi
+echo "cli_validation_test: all checks passed"

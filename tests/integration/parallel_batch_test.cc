@@ -144,6 +144,57 @@ TEST_F(ParallelBatchFixture, HugeKStaysCheap) {
   }
 }
 
+TEST_F(ParallelBatchFixture, SpecBatchIsDeterministicAt1And2And8Threads) {
+  // Batch execution through a QuerySpec (epsilon quality plus a raw-series
+  // budget) honors the spec deterministically at any thread count: same
+  // answers, same counters, same delivered guarantees as the serial
+  // Execute loop.
+  core::QuerySpec spec = core::QuerySpec::Epsilon(/*k=*/5, /*epsilon=*/0.5);
+  spec.max_raw_series = 400;
+  for (const std::string name : {"DSTree", "iSAX2+", "SFA", "VA+file"}) {
+    auto method = CreateMethod(name, 64);
+    method->Build(data_);
+
+    std::vector<core::QueryResult> serial;
+    for (size_t q = 0; q < workload_.queries.size(); ++q) {
+      serial.push_back(method->Execute(workload_.queries[q], spec));
+    }
+
+    for (const size_t threads : {1u, 2u, 8u}) {
+      const core::BatchKnnResult batch =
+          SearchKnnBatch(method.get(), workload_, spec, threads);
+      const std::string run = name + " spec @" + std::to_string(threads);
+      ASSERT_EQ(batch.queries.size(), serial.size()) << run;
+      for (size_t q = 0; q < serial.size(); ++q) {
+        const std::string context = run + " query " + std::to_string(q);
+        ASSERT_EQ(batch.queries[q].neighbors.size(),
+                  serial[q].neighbors.size())
+            << context;
+        for (size_t n = 0; n < serial[q].neighbors.size(); ++n) {
+          EXPECT_EQ(batch.queries[q].neighbors[n].id,
+                    serial[q].neighbors[n].id)
+              << context;
+          EXPECT_EQ(batch.queries[q].neighbors[n].dist_sq,
+                    serial[q].neighbors[n].dist_sq)
+              << context;
+        }
+        ExpectSameCounters(batch.queries[q].stats, serial[q].stats, context);
+        EXPECT_EQ(batch.queries[q].delivered(), serial[q].delivered())
+            << context;
+        EXPECT_EQ(batch.queries[q].budget_fired(), serial[q].budget_fired())
+            << context;
+      }
+      // The merged ledger reports the weakest guarantee of the batch.
+      core::SearchStats manual;
+      for (const auto& r : batch.queries) manual.Add(r.stats);
+      EXPECT_EQ(batch.total.answer_mode_delivered,
+                manual.answer_mode_delivered)
+          << run;
+      EXPECT_EQ(batch.total.budget_exhausted, manual.budget_exhausted) << run;
+    }
+  }
+}
+
 TEST_F(ParallelBatchFixture, RunMethodParallelMatchesRunMethod) {
   const auto hdd = io::DiskModel::ScaledHdd();
   for (const std::string name : {"UCR-Suite", "DSTree"}) {

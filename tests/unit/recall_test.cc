@@ -1,0 +1,100 @@
+// Boundary behavior of the answer-quality helpers RecallAtK and
+// ApproximationError: empty results, ties at the k-th distance, and k
+// larger than the collection must all have well-defined values (the
+// accuracy exhibits and the epsilon integration tests depend on them).
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/method.h"
+
+namespace hydra::core {
+namespace {
+
+std::vector<Neighbor> Answers(std::initializer_list<double> dists_sq) {
+  std::vector<Neighbor> out;
+  SeriesId id = 0;
+  for (const double d : dists_sq) out.push_back({id++, d});
+  return out;
+}
+
+TEST(RecallAtK, PerfectAnswerScoresOne) {
+  const auto truth = Answers({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(RecallAtK(truth, truth, 3), 1.0);
+}
+
+TEST(RecallAtK, EmptyResultScoresZero) {
+  const auto truth = Answers({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(RecallAtK({}, truth, 3), 0.0);
+}
+
+TEST(RecallAtK, EmptyTruthScoresOne) {
+  // Nothing to recover: vacuously perfect (empty collection edge).
+  EXPECT_DOUBLE_EQ(RecallAtK(Answers({1.0}), {}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {}, 3), 1.0);
+}
+
+TEST(RecallAtK, PartialAnswerScoresFraction) {
+  const auto truth = Answers({1.0, 2.0, 3.0, 4.0});
+  // Two of the four reported answers are within the true 4th distance;
+  // the others are strictly worse.
+  std::vector<Neighbor> result = {{9, 1.0}, {8, 3.5}, {7, 9.0}, {6, 11.0}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 4), 0.5);
+}
+
+TEST(RecallAtK, TiesAtTheKthDistanceCount) {
+  // Truth kept id 2 for the tied 3rd place; an answer holding the equally
+  // distant id 9 must not be penalized for the arbitrary tie-break.
+  const auto truth = Answers({1.0, 2.0, 5.0});
+  std::vector<Neighbor> result = {{0, 1.0}, {1, 2.0}, {9, 5.0}};
+  EXPECT_DOUBLE_EQ(RecallAtK(result, truth, 3), 1.0);
+}
+
+TEST(RecallAtK, KLargerThanCollectionUsesTruthSize) {
+  // A 3-series collection cannot yield 10 neighbors; a complete 3-answer
+  // result is perfect recall, not 3/10.
+  const auto truth = Answers({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(RecallAtK(truth, truth, 10), 1.0);
+  std::vector<Neighbor> partial = {{0, 1.0}};
+  EXPECT_NEAR(RecallAtK(partial, truth, 10), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ApproximationError, ExactAnswerIsOne) {
+  const auto truth = Answers({1.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(ApproximationError(truth, truth), 1.0);
+}
+
+TEST(ApproximationError, RatioOfWorstReturnedAnswer) {
+  const auto truth = Answers({1.0, 4.0});
+  // Returned 2nd-best distance sqrt(16) = 4 vs true sqrt(4) = 2.
+  std::vector<Neighbor> result = {{0, 1.0}, {9, 16.0}};
+  EXPECT_DOUBLE_EQ(ApproximationError(result, truth), 2.0);
+}
+
+TEST(ApproximationError, ShortAnswerComparesAtItsOwnRank) {
+  const auto truth = Answers({1.0, 4.0, 9.0});
+  // A one-answer result is judged against the true 1-NN, not the 3rd.
+  std::vector<Neighbor> result = {{9, 4.0}};
+  EXPECT_DOUBLE_EQ(ApproximationError(result, truth), 2.0);
+}
+
+TEST(ApproximationError, EmptyResultIsInfinite) {
+  const auto truth = Answers({1.0});
+  EXPECT_TRUE(std::isinf(ApproximationError({}, truth)));
+}
+
+TEST(ApproximationError, ZeroTruthDistance) {
+  const auto truth = Answers({0.0});
+  EXPECT_DOUBLE_EQ(ApproximationError(Answers({0.0}), truth), 1.0);
+  EXPECT_TRUE(std::isinf(ApproximationError(Answers({1.0}), truth)));
+}
+
+TEST(ApproximationErrorDeathTest, EmptyTruthAborts) {
+  EXPECT_DEATH(ApproximationError(Answers({1.0}), {}), "non-empty");
+}
+
+}  // namespace
+}  // namespace hydra::core

@@ -3,7 +3,8 @@
 //   hydra gen <family> <count> <length> <seed> <out.bin>
 //       Generate a dataset (synth|seismic|astro|sald|deep) to a series file.
 //   hydra query <data.bin> <method> <k> [queries]
-//       Exact k-NN of generated probe queries against a series file.
+//       k-NN of generated probe queries against a series file. Defaults to
+//       exact answers; --mode selects a relaxed guarantee (see below).
 //   hydra range <data.bin> <method> <radius> [queries]
 //       Exact r-range queries.
 //   hydra compare <data.bin> [queries]
@@ -14,16 +15,29 @@
 // `query` and `compare` accept --threads N anywhere after the command:
 // queries of one batch run concurrently when the method supports it
 // (results are identical to the serial run; see docs/ARCHITECTURE.md).
+//
+// `query` additionally accepts the QuerySpec flags:
+//   --mode exact|ng|epsilon|delta-epsilon   quality guarantee requested
+//   --epsilon X      relative error bound (epsilon / delta-epsilon modes)
+//   --delta X        probability the bound holds, in (0,1] (delta-epsilon)
+//   --max-leaves N   budget: stop after N leaf visits
+//   --max-raw N      budget: stop after N raw series examinations
+// A mode the chosen method does not advertise is rejected up front with
+// the traits-derived reason — never silently answered exactly.
 #include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/harness.h"
 #include "bench/registry.h"
+#include "core/method.h"
+#include "core/query_spec.h"
 #include "gen/realistic.h"
 #include "gen/workload.h"
 #include "io/disk_model.h"
@@ -40,6 +54,9 @@ int Usage() {
                "  hydra gen <family> <count> <length> <seed> <out.bin>\n"
                "  hydra query <data.bin> <method> <k> [queries=10] "
                "[--threads N]\n"
+               "              [--mode exact|ng|epsilon|delta-epsilon] "
+               "[--epsilon X]\n"
+               "              [--delta X] [--max-leaves N] [--max-raw N]\n"
                "  hydra range <data.bin> <method> <radius> [queries=10]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
                "  hydra methods\n");
@@ -79,31 +96,189 @@ int BadNumber(const char* what, const char* arg) {
   return 1;
 }
 
+/// Parses a non-negative finite decimal number with the same rigor
+/// ParseUint applies to integers: the first character must already be a
+/// digit or '.', which rejects negatives, "nan"/"inf", and leading
+/// whitespace up front; strtod's end pointer rejects trailing junk; the
+/// isfinite check rejects overflow to infinity ("1e999"); and C99
+/// hex-floats ("0x5") are rejected explicitly — ParseUint is base-10, so
+/// this parser is too.
+bool ParseDouble(const char* arg, double* out) {
+  if (arg == nullptr ||
+      !((arg[0] >= '0' && arg[0] <= '9') || arg[0] == '.')) {
+    return false;
+  }
+  if (arg[0] == '0' && (arg[1] == 'x' || arg[1] == 'X')) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (errno != 0 || end == arg || *end != '\0' || !std::isfinite(v) ||
+      v < 0.0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Extracts one `--flag value` option (anywhere in argv) into `*value` and
+/// removes both tokens from `*args`. Returns false (after printing an
+/// error) when the flag is present without a value; `*value` stays nullptr
+/// when the flag is absent.
+bool ExtractOption(std::vector<char*>* args, const char* flag,
+                   const char** value) {
+  *value = nullptr;
+  for (size_t i = 0; i < args->size(); ++i) {
+    if (std::string((*args)[i]) != flag) continue;
+    if (i + 1 >= args->size()) {
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    }
+    *value = (*args)[i + 1];
+    args->erase(args->begin() + static_cast<long>(i),
+                args->begin() + static_cast<long>(i) + 2);
+    return true;
+  }
+  return true;
+}
+
+/// The QuerySpec-shaping flags of `hydra query`, as extracted from argv.
+struct QueryFlags {
+  const char* mode = nullptr;
+  const char* epsilon = nullptr;
+  const char* delta = nullptr;
+  const char* max_leaves = nullptr;
+  const char* max_raw = nullptr;
+
+  bool any() const {
+    return mode != nullptr || epsilon != nullptr || delta != nullptr ||
+           max_leaves != nullptr || max_raw != nullptr;
+  }
+};
+
+/// Validates the QuerySpec flags and fills `*spec` (kind kKnn; the caller
+/// sets k). Returns false after printing an error: every malformed value,
+/// inconsistent flag combination, or mode the method's traits do not
+/// advertise exits cleanly instead of reaching a CHECK abort.
+bool BuildQuerySpec(const QueryFlags& flags, const core::MethodTraits& traits,
+                    const std::string& method_name, core::QuerySpec* spec) {
+  if (flags.mode != nullptr) {
+    const std::string mode = flags.mode;
+    if (mode == "exact") {
+      spec->mode = core::QualityMode::kExact;
+    } else if (mode == "ng") {
+      spec->mode = core::QualityMode::kNgApprox;
+    } else if (mode == "epsilon") {
+      spec->mode = core::QualityMode::kEpsilon;
+    } else if (mode == "delta-epsilon") {
+      spec->mode = core::QualityMode::kDeltaEpsilon;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown mode '%s' "
+                   "(exact|ng|epsilon|delta-epsilon)\n",
+                   flags.mode);
+      return false;
+    }
+  }
+  const bool eps_mode = spec->mode == core::QualityMode::kEpsilon ||
+                        spec->mode == core::QualityMode::kDeltaEpsilon;
+  if (flags.epsilon != nullptr && !eps_mode) {
+    std::fprintf(stderr, "error: --epsilon requires --mode epsilon or "
+                         "delta-epsilon\n");
+    return false;
+  }
+  // The converse too: a requested relaxation with no bound parameter would
+  // silently run at exact cost while labeled approximate.
+  if (eps_mode && flags.epsilon == nullptr) {
+    std::fprintf(stderr, "error: --mode %s requires --epsilon\n",
+                 core::QualityModeName(spec->mode));
+    return false;
+  }
+  if (flags.delta != nullptr &&
+      spec->mode != core::QualityMode::kDeltaEpsilon) {
+    std::fprintf(stderr, "error: --delta requires --mode delta-epsilon\n");
+    return false;
+  }
+  if (spec->mode == core::QualityMode::kDeltaEpsilon &&
+      flags.delta == nullptr) {
+    std::fprintf(stderr,
+                 "error: --mode delta-epsilon requires --delta (1.0 is "
+                 "plain epsilon)\n");
+    return false;
+  }
+  if (flags.epsilon != nullptr &&
+      !ParseDouble(flags.epsilon, &spec->epsilon)) {
+    std::fprintf(stderr,
+                 "error: --epsilon must be a finite non-negative number, "
+                 "got '%s'\n",
+                 flags.epsilon);
+    return false;
+  }
+  if (flags.delta != nullptr) {
+    if (!ParseDouble(flags.delta, &spec->delta) || spec->delta <= 0.0 ||
+        spec->delta > 1.0) {
+      std::fprintf(stderr, "error: --delta must lie in (0, 1], got '%s'\n",
+                   flags.delta);
+      return false;
+    }
+  }
+  for (const auto& [flag, arg, out] :
+       {std::tuple{"--max-leaves", flags.max_leaves,
+                   &spec->max_visited_leaves},
+        std::tuple{"--max-raw", flags.max_raw, &spec->max_raw_series}}) {
+    if (arg == nullptr) continue;
+    uint64_t value = 0;
+    if (!ParseUint(arg, &value) || value == 0 ||
+        value > static_cast<uint64_t>(
+                    std::numeric_limits<int64_t>::max())) {
+      std::fprintf(stderr, "error: %s must be a positive integer, got '%s'\n",
+                   flag, arg);
+      return false;
+    }
+    *out = static_cast<int64_t>(value);
+  }
+  if (spec->mode == core::QualityMode::kNgApprox && spec->has_budget()) {
+    std::fprintf(stderr, "error: budgets do not apply to --mode ng (it "
+                         "already visits at most one leaf)\n");
+    return false;
+  }
+  // A leaf budget that can never bind would be silently inert — refuse it
+  // with the same honesty --mode combinations get.
+  if (flags.max_leaves != nullptr && !traits.leaf_visit_budget) {
+    std::fprintf(stderr,
+                 "error: %s has no leaf-visit budget unit, so --max-leaves "
+                 "could never fire; cap work with --max-raw instead\n",
+                 method_name.c_str());
+    return false;
+  }
+  // Honest refusal instead of a silent exact answer: the method must
+  // advertise the requested mode.
+  const std::string reason = core::ModeFallbackReason(traits, spec->mode);
+  if (!reason.empty()) {
+    std::fprintf(stderr, "error: %s does not support --mode %s (%s)\n",
+                 method_name.c_str(), core::QualityModeName(spec->mode),
+                 reason.c_str());
+    return false;
+  }
+  return true;
+}
+
 /// Extracts a `--threads N` option (anywhere in argv) into `*threads` and
 /// removes it from `*args`. Returns false (after printing an error) on a
 /// missing or non-positive value.
 bool ExtractThreads(std::vector<char*>* args, uint64_t* threads) {
   *threads = 1;
-  for (size_t i = 0; i < args->size(); ++i) {
-    if (std::string((*args)[i]) != "--threads") continue;
-    if (i + 1 >= args->size()) {
-      std::fprintf(stderr, "error: --threads needs a value\n");
-      return false;
-    }
-    // The cap keeps absurd values from aborting inside std::thread
-    // creation (bad user input must exit 1, never SIGABRT).
-    constexpr uint64_t kMaxThreads = 1024;
-    if (!ParseUint((*args)[i + 1], threads) || *threads == 0 ||
-        *threads > kMaxThreads) {
-      std::fprintf(stderr, "error: --threads must be an integer in "
-                           "[1, %llu], got '%s'\n",
-                   static_cast<unsigned long long>(kMaxThreads),
-                   (*args)[i + 1]);
-      return false;
-    }
-    args->erase(args->begin() + static_cast<long>(i),
-                args->begin() + static_cast<long>(i) + 2);
-    return true;
+  const char* value = nullptr;
+  if (!ExtractOption(args, "--threads", &value)) return false;
+  if (value == nullptr) return true;
+  // The cap keeps absurd values from aborting inside std::thread
+  // creation (bad user input must exit 1, never SIGABRT).
+  constexpr uint64_t kMaxThreads = 1024;
+  if (!ParseUint(value, threads) || *threads == 0 ||
+      *threads > kMaxThreads) {
+    std::fprintf(stderr, "error: --threads must be an integer in "
+                         "[1, %llu], got '%s'\n",
+                 static_cast<unsigned long long>(kMaxThreads), value);
+    return false;
   }
   return true;
 }
@@ -157,7 +332,8 @@ util::Result<core::Dataset> Load(const char* path) {
   return io::ReadSeriesFile(path, "cli");
 }
 
-int CmdQuery(int argc, char** argv, uint64_t threads) {
+int CmdQuery(int argc, char** argv, uint64_t threads,
+             const QueryFlags& flags) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -171,6 +347,11 @@ int CmdQuery(int argc, char** argv, uint64_t threads) {
   if (argc > 5 && !ParseUint(argv[5], &queries)) {
     return BadNumber("queries", argv[5]);
   }
+  auto method = bench::CreateMethod(argv[3]);
+  core::QuerySpec spec = core::QuerySpec::Knn(k);
+  if (!BuildQuerySpec(flags, method->traits(), method->name(), &spec)) {
+    return 1;
+  }
   auto loaded = Load(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
@@ -178,17 +359,16 @@ int CmdQuery(int argc, char** argv, uint64_t threads) {
   }
   const core::Dataset data = std::move(loaded).value();
 
-  auto method = bench::CreateMethod(argv[3]);
   const core::BuildStats build = method->Build(data);
   std::printf("built %s over %zu series in %.2fs CPU\n",
               method->name().c_str(), data.size(), build.cpu_seconds);
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
   util::WallTimer timer;
   const core::BatchKnnResult batch = bench::SearchKnnBatch(
-      method.get(), probe, k, static_cast<size_t>(threads));
+      method.get(), probe, spec, static_cast<size_t>(threads));
   const double wall = timer.Seconds();
   for (size_t q = 0; q < batch.queries.size(); ++q) {
-    const core::KnnResult& r = batch.queries[q];
+    const core::QueryResult& r = batch.queries[q];
     std::printf("query %2zu: ", q);
     for (const auto& n : r.neighbors) {
       std::printf("(%u, %.3f) ", n.id, std::sqrt(n.dist_sq));
@@ -196,6 +376,19 @@ int CmdQuery(int argc, char** argv, uint64_t threads) {
     std::printf("[examined %lld, seeks %lld]\n",
                 static_cast<long long>(r.stats.raw_series_examined),
                 static_cast<long long>(r.stats.random_seeks));
+  }
+  if (flags.any()) {
+    // Honest delivery report: the guarantee that held for every query of
+    // the batch (budgets downgrade it to "ng" = no guarantee).
+    size_t budget_fired = 0;
+    for (const core::QueryResult& r : batch.queries) {
+      if (r.budget_fired()) ++budget_fired;
+    }
+    std::printf("mode %s requested: weakest delivered %s; budget fired on "
+                "%zu/%zu queries\n",
+                core::QualityModeName(spec.mode),
+                core::QualityModeName(batch.total.answer_mode_delivered),
+                budget_fired, batch.queries.size());
   }
   if (threads > 1) {
     if (!batch.serial_reason.empty()) {
@@ -294,7 +487,17 @@ int Main(int argc, char** argv) {
   const size_t before = args.size();
   if (!ExtractThreads(&args, &threads)) return 1;
   const bool had_threads = args.size() != before;
-  if (args.size() < 2) return Usage();  // argv was only "--threads N"
+  QueryFlags flags;
+  const size_t before_spec = args.size();
+  if (!ExtractOption(&args, "--mode", &flags.mode) ||
+      !ExtractOption(&args, "--epsilon", &flags.epsilon) ||
+      !ExtractOption(&args, "--delta", &flags.delta) ||
+      !ExtractOption(&args, "--max-leaves", &flags.max_leaves) ||
+      !ExtractOption(&args, "--max-raw", &flags.max_raw)) {
+    return 1;
+  }
+  const bool had_spec_flags = args.size() != before_spec;
+  if (args.size() < 2) return Usage();  // argv was only flags
   const int n = static_cast<int>(args.size());
   const std::string cmd = args[1];
   // Only the batch-capable commands accept --threads; stripping it
@@ -305,8 +508,15 @@ int Main(int argc, char** argv) {
                          "'query' and 'compare'\n");
     return 1;
   }
+  // The QuerySpec flags only shape k-NN queries; swallowing them
+  // elsewhere would let users believe e.g. a range query was approximate.
+  if (had_spec_flags && cmd != "query") {
+    std::fprintf(stderr, "error: --mode/--epsilon/--delta/--max-leaves/"
+                         "--max-raw are only supported by 'query'\n");
+    return 1;
+  }
   if (cmd == "gen") return CmdGen(n, args.data());
-  if (cmd == "query") return CmdQuery(n, args.data(), threads);
+  if (cmd == "query") return CmdQuery(n, args.data(), threads, flags);
   if (cmd == "range") return CmdRange(n, args.data());
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
