@@ -34,8 +34,10 @@ void Run() {
       int64_t exact_examined = 0;
       int64_t approx_examined = 0;
       for (size_t q = 0; q < workload.queries.size(); ++q) {
-        auto exact = method->SearchKnn(workload.queries[q], 1);
-        auto approx = method->SearchKnnApproximate(workload.queries[q], 1);
+        const auto exact =
+            method->Execute(workload.queries[q], core::QuerySpec::Knn(1));
+        const auto approx = method->Execute(workload.queries[q],
+                                            core::QuerySpec::NgApprox(1));
         exact_examined += exact.stats.raw_series_examined;
         approx_examined += approx.stats.raw_series_examined;
         const double d_exact = std::sqrt(exact.neighbors[0].dist_sq);

@@ -32,7 +32,8 @@ int main() {
   const gen::Workload tonight = gen::CtrlWorkload(catalog, 5, 22, 0.3, 0.6);
   const auto ssd = io::DiskModel::Ssd();
   for (size_t q = 0; q < tonight.queries.size(); ++q) {
-    core::KnnResult result = va->SearchKnn(tonight.queries[q], 5);
+    const core::QueryResult result =
+        va->Execute(tonight.queries[q], core::QuerySpec::Knn(5));
     std::printf(
         "\ntarget %zu (noise sd %.2f): %lld of %zu curves refined "
         "(prune %.4f), modeled SSD time %.4fs\n",

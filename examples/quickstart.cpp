@@ -31,7 +31,8 @@ int main() {
 
   // 3. Answer an exact 10-NN query.
   const gen::Workload probe = gen::RandWorkload(1, data.length(), 2);
-  core::KnnResult result = index->SearchKnn(probe.queries[0], 10);
+  const core::QueryResult result =
+      index->Execute(probe.queries[0], core::QuerySpec::Knn(10));
   std::printf("\n10 nearest neighbors (Euclidean distance):\n");
   for (const core::Neighbor& n : result.neighbors) {
     std::printf("  series %7u  dist %.4f\n", n.id, std::sqrt(n.dist_sq));

@@ -48,7 +48,8 @@ int main() {
   // be the (lightly perturbed) source event.
   auto index = bench::CreateMethod("iSAX2+", 512);
   index->Build(archive);
-  const auto result = index->SearchKnn(easy.queries[0], 3);
+  const core::QueryResult result =
+      index->Execute(easy.queries[0], core::QuerySpec::Knn(3));
   std::printf("\ntop matches for aftershock window (noise sd %.2f):\n",
               easy.noise_levels[0]);
   for (const auto& n : result.neighbors) {

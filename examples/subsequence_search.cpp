@@ -34,7 +34,8 @@ int main() {
                                  recordings[7].begin() + 1000 + window);
   core::ZNormalize(motif);
 
-  const core::KnnResult result = index->SearchKnn(motif, 5);
+  const core::QueryResult result =
+      index->Execute(motif, core::QuerySpec::Knn(5));
   std::printf("\ntop-5 subsequence matches:\n");
   for (const core::Neighbor& n : result.neighbors) {
     const gen::WindowOrigin& origin = chopped.origins[n.id];

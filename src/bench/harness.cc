@@ -72,6 +72,21 @@ core::BatchKnnResult SearchKnnBatch(core::SearchMethod* method,
   return SearchKnnBatch(method, workload, core::QuerySpec::Knn(k), threads);
 }
 
+namespace {
+
+/// Folds a batch's per-query answers into the run (shared by the fresh
+/// build and open-from-disk paths).
+void FillRunQueries(core::BatchKnnResult batch, MethodRun* run) {
+  run->queries.reserve(batch.queries.size());
+  run->nn_dists_sq.reserve(batch.queries.size());
+  for (core::KnnResult& r : batch.queries) {
+    run->queries.push_back(r.stats);
+    run->nn_dists_sq.push_back(r.neighbors.front().dist_sq);
+  }
+}
+
+}  // namespace
+
 MethodRun RunMethodParallel(core::SearchMethod* method,
                             const core::Dataset& data,
                             const gen::Workload& workload, size_t k,
@@ -80,13 +95,22 @@ MethodRun RunMethodParallel(core::SearchMethod* method,
   MethodRun run;
   run.method = method->name();
   run.build = method->Build(data);
-  core::BatchKnnResult batch = SearchKnnBatch(method, workload, k, threads);
-  run.queries.reserve(batch.queries.size());
-  run.nn_dists_sq.reserve(batch.queries.size());
-  for (core::KnnResult& r : batch.queries) {
-    run.queries.push_back(r.stats);
-    run.nn_dists_sq.push_back(r.neighbors.front().dist_sq);
-  }
+  FillRunQueries(SearchKnnBatch(method, workload, k, threads), &run);
+  return run;
+}
+
+util::Result<MethodRun> RunMethodFromIndex(core::SearchMethod* method,
+                                           const std::string& index_dir,
+                                           const core::Dataset& data,
+                                           const gen::Workload& workload,
+                                           size_t k, size_t threads) {
+  HYDRA_CHECK(method != nullptr);
+  util::Result<core::BuildStats> opened = method->Open(index_dir, data);
+  if (!opened.ok()) return opened.status();
+  MethodRun run;
+  run.method = method->name();
+  run.build = opened.value();
+  FillRunQueries(SearchKnnBatch(method, workload, k, threads), &run);
   return run;
 }
 

@@ -101,4 +101,8 @@ std::vector<std::string> EpsilonCapableNames() {
   return NamesSupporting(&core::MethodTraits::supports_epsilon);
 }
 
+std::vector<std::string> PersistentCapableNames() {
+  return NamesSupporting(&core::MethodTraits::supports_persistence);
+}
+
 }  // namespace hydra::bench

@@ -36,6 +36,12 @@ std::vector<std::string> NgCapableNames();
 /// epsilon-approximate pruning (everything but the sequential scans).
 std::vector<std::string> EpsilonCapableNames();
 
+/// The methods whose traits advertise persistence: their index can be
+/// built once (`hydra build`), persisted, and reopened by later processes
+/// (Save/Open). The sequential scans are excluded — they have no index
+/// structure to persist.
+std::vector<std::string> PersistentCapableNames();
+
 }  // namespace hydra::bench
 
 #endif  // HYDRA_BENCH_REGISTRY_H_

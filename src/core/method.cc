@@ -1,9 +1,12 @@
 #include "core/method.h"
 
 #include <cmath>
+#include <filesystem>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace hydra::core {
 
@@ -60,6 +63,93 @@ KnnResult SearchMethod::DoSearchKnnNg(SeriesView /*query*/, size_t /*k*/) {
                   "DoSearchKnnNg called on a method whose traits do not "
                   "advertise ng support");
   return {};
+}
+
+void SearchMethod::DoSave(io::IndexWriter* /*writer*/) const {
+  HYDRA_CHECK_MSG(false,
+                  "DoSave called on a method whose traits do not advertise "
+                  "persistence");
+}
+
+util::Status SearchMethod::DoOpen(io::IndexReader* /*reader*/,
+                                  const Dataset& /*data*/) {
+  HYDRA_CHECK_MSG(false,
+                  "DoOpen called on a method whose traits do not advertise "
+                  "persistence");
+  return util::Status::Ok();
+}
+
+BuildStats SearchMethod::Build(const Dataset& data) {
+  HYDRA_CHECK_MSG(!built_,
+                  "Build on an already built/opened method — construct a "
+                  "fresh instance instead");
+  BuildStats stats = DoBuild(data);
+  built_ = true;
+  built_over_ = &data;
+  return stats;
+}
+
+util::Result<int64_t> SearchMethod::Save(const std::string& dir) const {
+  HYDRA_CHECK_MSG(built_, "Save requires a built method (call Build first)");
+  const MethodTraits method_traits = traits();
+  if (!method_traits.supports_persistence) {
+    return util::Status::Error(
+        name() + " does not support a persisted index (" +
+        (method_traits.persistence_reason.empty()
+             ? "no reason recorded"
+             : method_traits.persistence_reason) +
+        ")");
+  }
+  io::IndexWriter writer(name(), io::DatasetFingerprint::Of(*built_over_));
+  DoSave(&writer);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Error("cannot create index directory " + dir +
+                               ": " + ec.message());
+  }
+  return writer.Commit(io::IndexFilePath(dir));
+}
+
+util::Result<BuildStats> SearchMethod::Open(const std::string& dir,
+                                            const Dataset& data) {
+  HYDRA_CHECK_MSG(!built_,
+                  "Open requires an unbuilt method (never double-open; "
+                  "construct a fresh instance instead)");
+  const MethodTraits method_traits = traits();
+  if (!method_traits.supports_persistence) {
+    return util::Status::Error(
+        name() + " does not support a persisted index (" +
+        (method_traits.persistence_reason.empty()
+             ? "no reason recorded"
+             : method_traits.persistence_reason) +
+        ")");
+  }
+  util::WallTimer timer;
+  io::IndexReader reader;
+  util::Status loaded = reader.Load(io::IndexFilePath(dir));
+  if (!loaded.ok()) return loaded;
+  if (reader.method_name() != name()) {
+    return util::Status::Error("index at " + dir + " was built by '" +
+                               reader.method_name() + "', not '" + name() +
+                               "'");
+  }
+  const io::DatasetFingerprint given = io::DatasetFingerprint::Of(data);
+  if (!(reader.fingerprint() == given)) {
+    return util::Status::Error(
+        "dataset fingerprint mismatch for index at " + dir +
+        ": index was built over " + reader.fingerprint().ToString() +
+        ", given dataset has " + given.ToString());
+  }
+  util::Status opened = DoOpen(&reader, data);
+  if (!opened.ok()) return opened;
+  built_ = true;
+  built_over_ = &data;
+  BuildStats stats;
+  stats.load_seconds = timer.Seconds();
+  stats.bytes_read = reader.file_bytes();
+  stats.random_reads = 1;
+  return stats;
 }
 
 QueryResult SearchMethod::Execute(SeriesView query, const QuerySpec& spec) {

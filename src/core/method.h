@@ -14,6 +14,12 @@
 #include "core/search_stats.h"
 #include "core/types.h"
 #include "util/check.h"
+#include "util/status.h"
+
+namespace hydra::io {
+class IndexWriter;
+class IndexReader;
+}  // namespace hydra::io
 
 namespace hydra::core {
 
@@ -109,6 +115,16 @@ struct MethodTraits {
   /// the CLI can refuse a leaf budget that could never fire instead of
   /// silently ignoring it. The max_raw_series budget binds everywhere.
   bool leaf_visit_budget = false;
+  /// True when the method implements DoSave/DoOpen: its index can be
+  /// persisted once by `hydra build` and reopened read-only by any number
+  /// of later processes. False for the sequential scans (there is no index
+  /// structure to persist); Save/Open refuse with `persistence_reason`
+  /// instead of silently rebuilding, mirroring the quality-mode honesty
+  /// contract.
+  bool supports_persistence = false;
+  /// Human-readable reason when supports_persistence is false (surfaced by
+  /// the CLI's exit-1 refusal and by `hydra methods`).
+  std::string persistence_reason{};
 
   /// Whether queries of mode `mode` run natively (kExact always does).
   bool SupportsMode(QualityMode mode) const {
@@ -134,17 +150,31 @@ std::string ModeFallbackReason(const MethodTraits& traits, QualityMode mode);
 /// Abstract whole-matching similarity search method. Implementations: the
 /// ten methods of the paper (Table 1) behind one contract.
 ///
-/// The single entry point is Execute(query, QuerySpec): it validates the
-/// spec once, resolves the requested quality mode against traits() (an
-/// unsupported mode falls back to the strongest supported guarantee and
-/// the fallback is recorded in the result — never silent), derives a
-/// KnnPlan, and dispatches to the protected Do* hooks. The legacy
-/// SearchKnn / SearchRange / SearchKnnApproximate entry points are thin
-/// wrappers over Execute, kept for existing callers and slated for
+/// Lifecycle (all NVI, state-checked once in the base class):
+///
+///     unbuilt --Build(data)--> built --Save(dir)--> built (+ index file)
+///     unbuilt --Open(dir, data)--> built
+///
+/// Build constructs the index from scratch; Save persists a built index
+/// into a versioned, checksummed container (io::IndexWriter); Open
+/// rehydrates a persisted index against the same dataset and answers
+/// every QuerySpec mode bit-identically to the freshly built index.
+/// Save requires a built method and Open an unbuilt one (never
+/// double-open) — violating either CHECK-aborts, because lifecycle misuse
+/// is a programmer error; everything a *file* can get wrong (corruption,
+/// version or fingerprint mismatch) comes back as a util::Status instead.
+///
+/// The single query entry point is Execute(query, QuerySpec): it
+/// validates the spec once, resolves the requested quality mode against
+/// traits() (an unsupported mode falls back to the strongest supported
+/// guarantee and the fallback is recorded in the result — never silent),
+/// derives a KnnPlan, and dispatches to the protected Do* hooks. The
+/// legacy SearchKnn / SearchRange / SearchKnnApproximate entry points are
+/// thin wrappers over Execute, kept for existing callers and slated for
 /// removal.
 ///
-/// Lifetime: the Dataset passed to Build must outlive the method; methods
-/// keep a pointer to it as the simulated raw data file.
+/// Lifetime: the Dataset passed to Build / Open must outlive the method;
+/// methods keep a pointer to it as the simulated raw data file.
 class SearchMethod {
  public:
   virtual ~SearchMethod() = default;
@@ -153,17 +183,43 @@ class SearchMethod {
   virtual std::string name() const = 0;
 
   /// Capabilities of this method; see MethodTraits. The default is the
-  /// conservative "queries must run serially, exact-only".
+  /// conservative "queries must run serially, exact-only, no persistence".
   virtual MethodTraits traits() const {
     return {.concurrent_queries = false,
             .serial_reason = "method has not been audited for concurrent "
-                             "query execution"};
+                             "query execution",
+            .persistence_reason =
+                "method implements no DoSave/DoOpen hooks"};
   }
 
   /// Builds the index / pre-organizes the data. For sequential scans this
   /// is a no-op that records the dataset pointer. Never concurrent-safe;
-  /// must complete before any query.
-  virtual BuildStats Build(const Dataset& data) = 0;
+  /// must complete before any query. CHECK-aborts on an already
+  /// built/opened method — build into a fresh instance instead.
+  BuildStats Build(const Dataset& data);
+
+  /// Persists the built index under `dir` (creating the directory) as
+  /// `dir`/index.hydra. Requires a built method (CHECK-aborts otherwise).
+  /// Returns the serialized file size in bytes, or an error when the
+  /// method's traits() do not advertise persistence or the file cannot be
+  /// written. Const: saving never mutates the index, so an adaptive
+  /// method (ADS+) may be saved at any point of its life and the opened
+  /// copy resumes from exactly that state.
+  util::Result<int64_t> Save(const std::string& dir) const;
+
+  /// Rehydrates the index persisted under `dir`, replacing Build. The
+  /// method must be unbuilt (CHECK-aborts on double-open or open after
+  /// build); `data` must be the exact collection the index was built over
+  /// (validated against the stored dataset fingerprint). On success the
+  /// method is built and the returned BuildStats carries the measured
+  /// load_seconds (cpu_seconds stays 0: nothing was built) plus the index
+  /// file bytes read. Every file-level problem — missing or truncated
+  /// file, checksum mismatch, foreign method, version or fingerprint
+  /// mismatch — returns an error Status; user input never CHECK-aborts.
+  util::Result<BuildStats> Open(const std::string& dir, const Dataset& data);
+
+  /// True once Build or Open succeeded.
+  bool built() const { return built_; }
 
   /// Answers one query as described by `spec` (see QuerySpec). Validates
   /// the spec (CHECK-aborts on programmer errors: k == 0, negative
@@ -209,6 +265,27 @@ class SearchMethod {
   }
 
  protected:
+  /// Build hook: constructs the index. Called exactly once, before any
+  /// query, on an unbuilt method (the public Build enforces both).
+  virtual BuildStats DoBuild(const Dataset& data) = 0;
+
+  /// Serialization hook: writes the method's own structure into named,
+  /// individually checksummed sections of the container (the base Save
+  /// wrote the header — method name and dataset fingerprint — already).
+  /// Only called when traits().supports_persistence; the default
+  /// CHECK-aborts so persistent methods must override it.
+  virtual void DoSave(io::IndexWriter* writer) const;
+
+  /// Deserialization hook: the inverse of DoSave. Must rebuild the exact
+  /// structure DoSave serialized — including configuration options, which
+  /// override the constructor's so an index opens correctly regardless of
+  /// how this instance was configured — and attach `data` as the raw
+  /// file. Returns reader->status(): a truncated or corrupt section
+  /// surfaces as an error, never a crash. Only called when
+  /// traits().supports_persistence, after the base Open validated magic,
+  /// version, method name, and dataset fingerprint.
+  virtual util::Status DoOpen(io::IndexReader* reader, const Dataset& data);
+
   /// k-NN driver hook. The plan carries k plus the pruning knobs derived
   /// from the spec: bound_scale (epsilon), delta (leaf-visit stopping
   /// rule, only ever < 1 for methods advertising kDeltaEpsilon), and the
@@ -227,6 +304,12 @@ class SearchMethod {
 
   /// Range driver hook; `radius` is guaranteed non-negative.
   virtual RangeResult DoSearchRange(SeriesView query, double radius) = 0;
+
+ private:
+  bool built_ = false;
+  /// The collection this method was built over (Build/Open record it);
+  /// Save derives the dataset fingerprint from it.
+  const Dataset* built_over_ = nullptr;
 };
 
 /// Ground-truth exact k-NN by brute force (used by tests and to label query

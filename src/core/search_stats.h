@@ -105,6 +105,10 @@ struct BuildStats {
   /// *Measured* wall-clock compute seconds of construction (modeled I/O
   /// seconds are derived separately via io::DiskModel).
   double cpu_seconds = 0.0;
+  /// *Measured* wall-clock seconds spent opening a persisted index
+  /// (SearchMethod::Open). 0 for a fresh Build — load time and build time
+  /// are separate costs and are never mixed into one number.
+  double load_seconds = 0.0;
   /// Bytes written to the simulated index/leaf files.
   int64_t bytes_written = 0;
   /// Random write seeks during construction.

@@ -3,13 +3,14 @@
 #include <cmath>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "transform/paa.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace hydra::index {
 
-core::BuildStats AdsPlus::Build(const core::Dataset& data) {
+core::BuildStats AdsPlus::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   HYDRA_CHECK_MSG(data.length() % options_.segments == 0,
@@ -40,6 +41,35 @@ core::BuildStats AdsPlus::Build(const core::Dataset& data) {
   stats.bytes_written = static_cast<int64_t>(full_words_.size());
   stats.random_writes = 1;
   return stats;
+}
+
+void AdsPlus::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.segments);
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteU64(options_.adaptive_leaf_capacity);
+  writer->EndSection();
+  writer->BeginSection("summaries");
+  writer->WritePodVector(full_words_);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  tree_->SaveTo(writer);
+  writer->EndSection();
+}
+
+util::Status AdsPlus::DoOpen(io::IndexReader* reader,
+                             const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.segments = reader->ReadU64();
+  options_.leaf_capacity = reader->ReadU64();
+  options_.adaptive_leaf_capacity = reader->ReadU64();
+  tree_ = IsaxTree::OpenShared(
+      reader, IsaxTreeOptions{options_.segments, options_.leaf_capacity},
+      data, &full_words_);
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  raw_ = std::make_unique<io::CountedStorage>(data_);
+  return reader->status();
 }
 
 core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,

@@ -41,13 +41,19 @@ class AdsPlus : public core::SearchMethod {
                 "iSAX tree during queries",
             .supports_ng = true,
             .supports_epsilon = true,
-            .supports_delta_epsilon = true};
+            .supports_delta_epsilon = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  /// Persists the summary words and the (possibly adaptively refined)
+  /// iSAX tree; an opened ADS+ resumes splitting from the saved state.
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;

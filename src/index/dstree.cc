@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -89,7 +90,7 @@ struct Candidate {
 
 }  // namespace
 
-core::BuildStats DsTree::Build(const core::Dataset& data) {
+core::BuildStats DsTree::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   HYDRA_CHECK(options_.initial_segments >= 1);
@@ -125,6 +126,95 @@ core::BuildStats DsTree::Build(const core::Dataset& data) {
   stats.random_writes = leaves;
   leaf_count_ = leaves;
   return stats;
+}
+
+void DsTree::SaveNode(const Node& node, io::IndexWriter* w) {
+  w->WritePodVector(node.seg.ends);
+  w->WritePodVector(node.ranges);
+  w->WriteU64(node.count);
+  w->WriteI32(node.depth);
+  w->WriteBool(node.is_leaf);
+  if (node.is_leaf) {
+    w->WritePodVector(node.ids);
+    return;
+  }
+  w->WritePodVector(node.child_seg.ends);
+  w->WriteI32(node.split_segment);
+  w->WriteBool(node.split_on_mean);
+  w->WriteDouble(node.split_value);
+  SaveNode(*node.left, w);
+  SaveNode(*node.right, w);
+}
+
+std::unique_ptr<DsTree::Node> DsTree::LoadNode(io::IndexReader* r,
+                                               size_t series_length,
+                                               size_t series_count) {
+  const io::IndexReader::NodeGuard guard(r);
+  auto node = std::make_unique<Node>();
+  node->seg.ends = r->ReadPodVector<uint32_t>();
+  node->ranges = r->ReadPodVector<SegmentRange>();
+  node->count = r->ReadU64();
+  node->depth = r->ReadI32();
+  node->is_leaf = r->ReadBool();
+  // Stop on a latched error before recursing (zeroed reads would present
+  // as an endless chain of internal nodes).
+  if (!r->ok()) return node;
+  if (node->seg.ends.empty() || node->seg.ends.back() != series_length ||
+      node->ranges.size() != node->seg.segments()) {
+    r->Fail("DSTree node segmentation does not cover the series length");
+    return node;
+  }
+  if (node->is_leaf) {
+    node->ids = r->ReadPodVector<core::SeriesId>();
+    for (const core::SeriesId id : node->ids) {
+      if (id >= series_count) {
+        r->Fail("DSTree leaf entry is out of the dataset's range");
+        return node;
+      }
+    }
+    return node;
+  }
+  node->child_seg.ends = r->ReadPodVector<uint32_t>();
+  node->split_segment = r->ReadI32();
+  node->split_on_mean = r->ReadBool();
+  node->split_value = r->ReadDouble();
+  if (!r->ok()) return node;
+  if (node->split_segment < 0 ||
+      static_cast<size_t>(node->split_segment) >=
+          node->child_seg.segments()) {
+    r->Fail("DSTree internal node has an invalid split segment");
+    return node;
+  }
+  node->left = LoadNode(r, series_length, series_count);
+  node->right = LoadNode(r, series_length, series_count);
+  return node;
+}
+
+void DsTree::DoSave(io::IndexWriter* writer) const {
+  static_assert(std::is_trivially_copyable_v<SegmentRange>);
+  writer->BeginSection("options");
+  writer->WriteU64(options_.initial_segments);
+  writer->WriteU64(options_.max_segments);
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteI64(leaf_count_);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  SaveNode(*root_, writer);
+  writer->EndSection();
+}
+
+util::Status DsTree::DoOpen(io::IndexReader* reader,
+                            const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.initial_segments = reader->ReadU64();
+  options_.max_segments = reader->ReadU64();
+  options_.leaf_capacity = reader->ReadU64();
+  leaf_count_ = reader->ReadI64();
+  reader->EnterSection("tree");
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  root_ = LoadNode(reader, data.length(), data.size());
+  return reader->status();
 }
 
 void DsTree::Insert(core::SeriesId id, const Prefix& p) {

@@ -39,13 +39,17 @@ class DsTree : public core::SearchMethod {
             .supports_ng = true,
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
-            .leaf_visit_budget = true};
+            .leaf_visit_budget = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
@@ -60,6 +64,11 @@ class DsTree : public core::SearchMethod {
     std::vector<double> sum;
     std::vector<double> sum_sq;
   };
+
+  static void SaveNode(const Node& node, io::IndexWriter* writer);
+  static std::unique_ptr<Node> LoadNode(io::IndexReader* reader,
+                                        size_t series_length,
+                                        size_t series_count);
 
   static Prefix ComputePrefix(core::SeriesView x);
   static transform::SegmentStats StatOf(const Prefix& p, uint32_t begin,

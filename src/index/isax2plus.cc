@@ -4,13 +4,14 @@
 #include <limits>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "transform/paa.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace hydra::index {
 
-core::BuildStats Isax2Plus::Build(const core::Dataset& data) {
+core::BuildStats Isax2Plus::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   HYDRA_CHECK_MSG(data.length() % options_.segments == 0,
@@ -41,6 +42,34 @@ core::BuildStats Isax2Plus::Build(const core::Dataset& data) {
   stats.random_writes = tree_->StructureFootprint().leaf_nodes;
   leaf_count_ = stats.random_writes;
   return stats;
+}
+
+void Isax2Plus::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.segments);
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteI64(leaf_count_);
+  writer->EndSection();
+  writer->BeginSection("summaries");
+  writer->WritePodVector(full_words_);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  tree_->SaveTo(writer);
+  writer->EndSection();
+}
+
+util::Status Isax2Plus::DoOpen(io::IndexReader* reader,
+                               const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.segments = reader->ReadU64();
+  options_.leaf_capacity = reader->ReadU64();
+  leaf_count_ = reader->ReadI64();
+  tree_ = IsaxTree::OpenShared(
+      reader, IsaxTreeOptions{options_.segments, options_.leaf_capacity},
+      data, &full_words_);
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  return reader->status();
 }
 
 void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,

@@ -36,13 +36,17 @@ class Isax2Plus : public core::SearchMethod {
             .supports_ng = true,
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
-            .leaf_visit_budget = true};
+            .leaf_visit_budget = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;

@@ -4,13 +4,69 @@
 #include <limits>
 #include <queue>
 
+#include "io/index_codec.h"
 #include "util/check.h"
 
 namespace hydra::index {
+namespace {
+
+void SaveNode(const IsaxTree::Node& node, io::IndexWriter* w) {
+  w->WritePodVector(node.word.symbols);
+  w->WritePodVector(node.word.bits);
+  w->WriteI32(node.depth);
+  w->WriteBool(node.is_leaf);
+  w->WriteI32(node.split_segment);
+  if (node.is_leaf) {
+    w->WritePodVector(node.ids);
+  } else {
+    SaveNode(*node.child0, w);
+    SaveNode(*node.child1, w);
+  }
+}
+
+std::unique_ptr<IsaxTree::Node> LoadNode(io::IndexReader* r,
+                                         size_t segments,
+                                         size_t series_count) {
+  const io::IndexReader::NodeGuard guard(r);
+  auto node = std::make_unique<IsaxTree::Node>();
+  node->word.symbols = r->ReadPodVector<uint8_t>();
+  node->word.bits = r->ReadPodVector<uint8_t>();
+  node->depth = r->ReadI32();
+  node->is_leaf = r->ReadBool();
+  node->split_segment = r->ReadI32();
+  // A latched reader error makes every further read a zero, which would
+  // present as an internal node and recurse forever — stop immediately.
+  if (!r->ok()) return node;
+  if (node->word.symbols.size() != segments ||
+      node->word.bits.size() != segments) {
+    r->Fail("iSAX node word does not match the segment count");
+    return node;
+  }
+  if (node->is_leaf) {
+    node->ids = r->ReadPodVector<core::SeriesId>();
+    for (const core::SeriesId id : node->ids) {
+      if (id >= series_count) {
+        r->Fail("iSAX leaf entry is out of the dataset's range");
+        return node;
+      }
+    }
+  } else {
+    if (node->split_segment < 0 ||
+        node->split_segment >= static_cast<int>(segments)) {
+      r->Fail("iSAX internal node has an invalid split segment");
+      return node;
+    }
+    node->child0 = LoadNode(r, segments, series_count);
+    node->child1 = LoadNode(r, segments, series_count);
+  }
+  return node;
+}
+
+}  // namespace
 
 IsaxTree::IsaxTree(IsaxTreeOptions options, const uint8_t* full_words)
     : options_(options), full_words_(full_words) {
-  HYDRA_CHECK(options_.segments > 0 && options_.segments <= 24);
+  HYDRA_CHECK(options_.segments > 0 && options_.segments <= kMaxSegments);
   HYDRA_CHECK(options_.leaf_capacity > 0);
   HYDRA_CHECK(full_words != nullptr);
 }
@@ -190,6 +246,48 @@ void IsaxTree::ForEachNode(const std::function<void(const Node&)>& fn) const {
       stack.push_back(node->child1.get());
     }
   }
+}
+
+void IsaxTree::SaveTo(io::IndexWriter* writer) const {
+  writer->WriteU64(first_level_.size());
+  for (const auto& [key, node] : first_level_) {
+    writer->WriteU32(key);
+    SaveNode(*node, writer);
+  }
+}
+
+void IsaxTree::LoadFrom(io::IndexReader* reader, size_t series_count) {
+  first_level_.clear();
+  const uint64_t count = reader->ReadU64();
+  for (uint64_t i = 0; i < count && reader->ok(); ++i) {
+    const uint32_t key = reader->ReadU32();
+    first_level_[key] = LoadNode(reader, options_.segments, series_count);
+  }
+}
+
+std::unique_ptr<IsaxTree> IsaxTree::OpenShared(
+    io::IndexReader* reader, IsaxTreeOptions options,
+    const core::Dataset& data, std::vector<uint8_t>* full_words) {
+  if (reader->ok() &&
+      (options.segments == 0 || options.segments > kMaxSegments ||
+       options.leaf_capacity == 0 ||
+       data.length() % options.segments != 0)) {
+    reader->Fail("iSAX options are inconsistent with the dataset");
+  }
+  reader->EnterSection("summaries");
+  *full_words = reader->ReadPodVector<uint8_t>();
+  if (reader->ok() &&
+      (full_words->empty() ||
+       full_words->size() != data.size() * options.segments)) {
+    // Empty is rejected too: the tree constructor requires a real word
+    // array, and no index can legitimately cover zero series.
+    reader->Fail("iSAX summary file does not cover the dataset");
+  }
+  reader->EnterSection("tree");
+  if (!reader->ok()) return nullptr;
+  auto tree = std::make_unique<IsaxTree>(options, full_words->data());
+  tree->LoadFrom(reader, data.size());
+  return tree;
 }
 
 core::Footprint IsaxTree::StructureFootprint() const {

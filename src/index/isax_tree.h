@@ -5,14 +5,19 @@
 #define HYDRA_INDEX_ISAX_TREE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/method.h"
 #include "core/types.h"
 #include "transform/isax.h"
+
+namespace hydra::io {
+class IndexWriter;
+class IndexReader;
+}  // namespace hydra::io
 
 namespace hydra::index {
 
@@ -41,6 +46,11 @@ class IsaxTree {
 
     size_t size() const { return ids.size(); }
   };
+
+  /// Maximum segment count the tree supports (first-level keys pack one
+  /// bit per segment into a uint32; the constructor CHECK and the
+  /// deserializers' pre-validation both derive from this one constant).
+  static constexpr size_t kMaxSegments = 24;
 
   /// `full_words` is the flat per-series full-resolution symbol array
   /// (`segments` symbols per series), owned by the caller and immutable for
@@ -79,6 +89,27 @@ class IsaxTree {
   /// Number of nodes / leaf nodes and resident bytes of the structure.
   core::Footprint StructureFootprint() const;
 
+  /// Serializes the tree structure into the writer's current section (the
+  /// caller-owned full-resolution word array is persisted by the owner).
+  void SaveTo(io::IndexWriter* writer) const;
+
+  /// Rebuilds the structure from the reader's current section (inverse of
+  /// SaveTo), replacing the current contents. Leaf ids are validated
+  /// against `series_count`; failures latch into the reader's sticky
+  /// status.
+  void LoadFrom(io::IndexReader* reader, size_t series_count);
+
+  /// Shared deserialization tail of the two iSAX-based methods (ADS+,
+  /// iSAX2+): validates `options` against the dataset, reads the
+  /// "summaries" section into `*full_words` (checking it covers the
+  /// collection) and the "tree" section into a fresh tree over that
+  /// array. Returns nullptr (with the reader's status latched) on any
+  /// failure.
+  static std::unique_ptr<IsaxTree> OpenShared(io::IndexReader* reader,
+                                              IsaxTreeOptions options,
+                                              const core::Dataset& data,
+                                              std::vector<uint8_t>* full_words);
+
  private:
   std::span<const uint8_t> WordOf(core::SeriesId id) const {
     return {full_words_ + static_cast<size_t>(id) * options_.segments,
@@ -90,7 +121,11 @@ class IsaxTree {
 
   IsaxTreeOptions options_;
   const uint8_t* full_words_;
-  std::unordered_map<uint32_t, std::unique_ptr<Node>> first_level_;
+  // Ordered map: iteration order (ApproximateLeaf fallback ties,
+  // BestFirstSearch seeding) must be deterministic and identical between a
+  // freshly built tree and one rehydrated from disk, or opened indexes
+  // could break ties differently than built ones.
+  std::map<uint32_t, std::unique_ptr<Node>> first_level_;
 };
 
 }  // namespace hydra::index

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -42,7 +43,7 @@ double MTree::DistToQuery(core::SeriesView query, core::SeriesId id,
   return std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
 }
 
-core::BuildStats MTree::Build(const core::Dataset& data) {
+core::BuildStats MTree::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   HYDRA_CHECK(data.size() > 0);
@@ -79,6 +80,80 @@ core::BuildStats MTree::Build(const core::Dataset& data) {
   // Memory-resident index (the paper's only scalable implementation).
   stats.bytes_written = 0;
   return stats;
+}
+
+void MTree::SaveNode(const Node& node, io::IndexWriter* w) {
+  w->WriteU32(node.center);
+  w->WriteDouble(node.radius);
+  w->WriteDouble(node.dist_to_parent);
+  w->WriteBool(node.is_leaf);
+  if (node.is_leaf) {
+    w->WriteU64(node.entries.size());
+    for (const auto& [id, dist] : node.entries) {
+      w->WriteU32(id);
+      w->WriteDouble(dist);
+    }
+    return;
+  }
+  w->WriteU64(node.children.size());
+  for (const auto& child : node.children) SaveNode(*child, w);
+}
+
+std::unique_ptr<MTree::Node> MTree::LoadNode(io::IndexReader* r,
+                                             size_t series_count) {
+  const io::IndexReader::NodeGuard guard(r);
+  auto node = std::make_unique<Node>();
+  node->center = r->ReadU32();
+  node->radius = r->ReadDouble();
+  node->dist_to_parent = r->ReadDouble();
+  node->is_leaf = r->ReadBool();
+  if (!r->ok()) return node;
+  if (node->center >= series_count) {
+    r->Fail("M-tree routing center is out of the dataset's range");
+    return node;
+  }
+  const uint64_t count = r->ReadU64();
+  if (node->is_leaf) {
+    node->entries.reserve(std::min<uint64_t>(count, series_count));
+    for (uint64_t i = 0; i < count && r->ok(); ++i) {
+      const core::SeriesId id = r->ReadU32();
+      const double dist = r->ReadDouble();
+      if (id >= series_count) {
+        r->Fail("M-tree leaf entry is out of the dataset's range");
+        return node;
+      }
+      node->entries.emplace_back(id, dist);
+    }
+    return node;
+  }
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    node->children.push_back(LoadNode(r, series_count));
+  }
+  return node;
+}
+
+void MTree::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteU64(options_.internal_capacity);
+  writer->WriteU64(options_.split_samples);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  SaveNode(*root_, writer);
+  writer->EndSection();
+}
+
+util::Status MTree::DoOpen(io::IndexReader* reader,
+                           const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.leaf_capacity = reader->ReadU64();
+  options_.internal_capacity = reader->ReadU64();
+  options_.split_samples = reader->ReadU64();
+  reader->EnterSection("tree");
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  root_ = LoadNode(reader, data.size());
+  return reader->status();
 }
 
 bool MTree::Insert(Node* node, core::SeriesId id, double dist_to_node_center,

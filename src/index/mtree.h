@@ -35,9 +35,9 @@ class MTree : public core::SearchMethod {
     return {.concurrent_queries = true,
             .serial_reason = "",
             .supports_epsilon = true,
-            .leaf_visit_budget = true};
+            .leaf_visit_budget = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
 
   /// Legacy entry point (deprecated): epsilon-approximate k-NN
   /// (Definition 5; Table 1 marks the M-tree as supporting it), equivalent
@@ -51,6 +51,10 @@ class MTree : public core::SearchMethod {
   core::Footprint footprint() const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   /// Subtrees are pruned against bsf/(1+epsilon) — the M-tree works on
   /// unsquared distances, so it reads plan.epsilon rather than the squared
   /// plan.bound_scale — and larger epsilon trades accuracy for fewer
@@ -63,6 +67,10 @@ class MTree : public core::SearchMethod {
  private:
   struct Node;
   struct Route;
+
+  static void SaveNode(const Node& node, io::IndexWriter* writer);
+  static std::unique_ptr<Node> LoadNode(io::IndexReader* reader,
+                                        size_t series_count);
 
   double Dist(core::SeriesId a, core::SeriesId b) const;
   double DistToQuery(core::SeriesView query, core::SeriesId id,
@@ -79,7 +87,6 @@ class MTree : public core::SearchMethod {
   MTreeOptions options_;
   const core::Dataset* data_ = nullptr;
   std::unique_ptr<Node> root_;
-  core::SeriesId root_center_ = 0;
   mutable int64_t build_distance_count_ = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "core/distance.h"
 #include "io/counted_storage.h"
+#include "io/index_codec.h"
 #include "transform/paa.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -104,7 +105,7 @@ struct RStarTree::Node {
 RStarTree::RStarTree(RTreeOptions options) : options_(options) {}
 RStarTree::~RStarTree() = default;
 
-core::BuildStats RStarTree::Build(const core::Dataset& data) {
+core::BuildStats RStarTree::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   HYDRA_CHECK_MSG(data.length() % options_.segments == 0,
@@ -131,6 +132,97 @@ core::BuildStats RStarTree::Build(const core::Dataset& data) {
       static_cast<int64_t>(points_.size() * sizeof(double));
   stats.random_writes = footprint().total_nodes;
   return stats;
+}
+
+void RStarTree::SaveNode(const Node& node, io::IndexWriter* w) {
+  w->WriteI32(node.level);
+  w->WriteU64(node.entries.size());
+  for (const Entry& e : node.entries) {
+    w->WritePodVector(e.rect.lo);
+    w->WritePodVector(e.rect.hi);
+    if (node.is_leaf()) {
+      w->WriteU32(e.id);
+    } else {
+      SaveNode(*e.child, w);
+    }
+  }
+}
+
+std::unique_ptr<RStarTree::Node> RStarTree::LoadNode(
+    io::IndexReader* r, size_t series_count) const {
+  const io::IndexReader::NodeGuard guard(r);
+  auto node = std::make_unique<Node>();
+  node->level = r->ReadI32();
+  const uint64_t count = r->ReadU64();
+  if (!r->ok()) return node;
+  if (node->level < 0) {
+    r->Fail("R*-tree node has a negative level");
+    return node;
+  }
+  node->entries.reserve(std::min<uint64_t>(count, series_count + 1));
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    Entry e;
+    e.rect.lo = r->ReadPodVector<double>();
+    e.rect.hi = r->ReadPodVector<double>();
+    if (r->ok() && (e.rect.lo.size() != dims_ || e.rect.hi.size() != dims_)) {
+      r->Fail("R*-tree rectangle does not match the PAA dimensionality");
+      return node;
+    }
+    if (node->is_leaf()) {
+      e.id = r->ReadU32();
+      if (r->ok() && e.id >= series_count) {
+        r->Fail("R*-tree leaf entry is out of the dataset's range");
+        return node;
+      }
+    } else {
+      e.child = LoadNode(r, series_count);
+    }
+    node->entries.push_back(std::move(e));
+  }
+  return node;
+}
+
+void RStarTree::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.segments);
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteU64(options_.internal_capacity);
+  writer->WriteDouble(options_.reinsert_fraction);
+  writer->WriteU64(dims_);
+  writer->WriteDouble(scale_);
+  writer->WriteI32(height_);
+  writer->EndSection();
+  writer->BeginSection("points");
+  writer->WritePodVector(points_);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  SaveNode(*root_, writer);
+  writer->EndSection();
+}
+
+util::Status RStarTree::DoOpen(io::IndexReader* reader,
+                               const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.segments = reader->ReadU64();
+  options_.leaf_capacity = reader->ReadU64();
+  options_.internal_capacity = reader->ReadU64();
+  options_.reinsert_fraction = reader->ReadDouble();
+  dims_ = reader->ReadU64();
+  scale_ = reader->ReadDouble();
+  height_ = reader->ReadI32();
+  if (reader->ok() && (dims_ == 0 || data.length() % dims_ != 0)) {
+    reader->Fail("R*-tree options are inconsistent with the dataset");
+  }
+  reader->EnterSection("points");
+  points_ = reader->ReadPodVector<double>();
+  if (reader->ok() && points_.size() != data.size() * dims_) {
+    reader->Fail("R*-tree point file does not cover the dataset");
+  }
+  reader->EnterSection("tree");
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  root_ = LoadNode(reader, data.size());
+  return reader->status();
 }
 
 void RStarTree::InsertPoint(core::SeriesId id) {

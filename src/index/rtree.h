@@ -36,13 +36,17 @@ class RStarTree : public core::SearchMethod {
     return {.concurrent_queries = true,
             .serial_reason = "",
             .supports_epsilon = true,
-            .leaf_visit_budget = true};
+            .leaf_visit_budget = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
@@ -51,6 +55,10 @@ class RStarTree : public core::SearchMethod {
  private:
   struct Node;
   struct Entry;
+
+  static void SaveNode(const Node& node, io::IndexWriter* writer);
+  std::unique_ptr<Node> LoadNode(io::IndexReader* reader,
+                                 size_t series_count) const;
 
   void InsertPoint(core::SeriesId id);
   void InsertEntry(Entry entry, int target_level, bool allow_reinsert);

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "io/index_codec.h"
 #include "transform/dft.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -28,7 +29,7 @@ struct SfaTrie::Node {
 SfaTrie::SfaTrie(SfaTrieOptions options) : options_(options) {}
 SfaTrie::~SfaTrie() = default;
 
-core::BuildStats SfaTrie::Build(const core::Dataset& data) {
+core::BuildStats SfaTrie::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   const size_t dims =
@@ -79,6 +80,137 @@ core::BuildStats SfaTrie::Build(const core::Dataset& data) {
   stats.random_writes = footprint().leaf_nodes;
   leaf_count_ = stats.random_writes;
   return stats;
+}
+
+void SfaTrie::SaveNode(const Node& node, io::IndexWriter* w) {
+  w->WriteI32(node.depth);
+  w->WriteBool(node.is_leaf);
+  w->WriteU64(node.count);
+  w->WritePodVector(node.mbr_min);
+  w->WritePodVector(node.mbr_max);
+  if (node.is_leaf) {
+    w->WritePodVector(node.ids);
+    return;
+  }
+  w->WriteU64(node.children.size());
+  for (const auto& slot : node.children) {
+    w->WriteBool(slot != nullptr);
+    if (slot != nullptr) SaveNode(*slot, w);
+  }
+}
+
+std::unique_ptr<SfaTrie::Node> SfaTrie::LoadNode(io::IndexReader* r,
+                                                 size_t series_count) const {
+  const io::IndexReader::NodeGuard guard(r);
+  const size_t dims = quantizer_.dims();
+  auto node = std::make_unique<Node>();
+  node->depth = r->ReadI32();
+  node->is_leaf = r->ReadBool();
+  node->count = r->ReadU64();
+  node->mbr_min = r->ReadPodVector<double>();
+  node->mbr_max = r->ReadPodVector<double>();
+  if (!r->ok()) return node;
+  if (node->mbr_min.size() != dims || node->mbr_max.size() != dims) {
+    r->Fail("SFA node MBR does not match the word length");
+    return node;
+  }
+  // The descent indexes the query word by `depth`, so an internal node's
+  // depth must address a word position (a leaf may sit at depth == dims:
+  // the full word is exhausted).
+  if (node->depth < 0 || static_cast<size_t>(node->depth) > dims ||
+      (!node->is_leaf && static_cast<size_t>(node->depth) == dims)) {
+    r->Fail("SFA node depth is out of the word's range");
+    return node;
+  }
+  if (node->is_leaf) {
+    node->ids = r->ReadPodVector<core::SeriesId>();
+    for (const core::SeriesId id : node->ids) {
+      if (id >= series_count) {
+        r->Fail("SFA leaf entry is out of the dataset's range");
+        return node;
+      }
+    }
+    return node;
+  }
+  const uint64_t slots = r->ReadU64();
+  if (!r->ok()) return node;
+  if (slots != static_cast<uint64_t>(options_.alphabet)) {
+    r->Fail("SFA internal node fanout does not match the alphabet");
+    return node;
+  }
+  node->children.resize(slots);
+  for (uint64_t s = 0; s < slots && r->ok(); ++s) {
+    if (r->ReadBool()) node->children[s] = LoadNode(r, series_count);
+  }
+  return node;
+}
+
+void SfaTrie::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.word_length);
+  writer->WriteI32(options_.alphabet);
+  writer->WriteU8(static_cast<uint8_t>(options_.binning));
+  writer->WriteU64(options_.leaf_capacity);
+  writer->WriteU64(options_.sample_size);
+  writer->WriteI64(leaf_count_);
+  writer->EndSection();
+  writer->BeginSection("quantizer");
+  writer->WriteU64(quantizer_.dims());
+  for (size_t d = 0; d < quantizer_.dims(); ++d) {
+    const auto bins = quantizer_.BreakpointsFor(d);
+    writer->WritePodVector(
+        std::vector<double>(bins.begin(), bins.end()));
+  }
+  writer->EndSection();
+  writer->BeginSection("summaries");
+  writer->WritePodVector(dfts_);
+  writer->WritePodVector(words_);
+  writer->EndSection();
+  writer->BeginSection("tree");
+  SaveNode(*root_, writer);
+  writer->EndSection();
+}
+
+util::Status SfaTrie::DoOpen(io::IndexReader* reader,
+                             const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.word_length = reader->ReadU64();
+  options_.alphabet = reader->ReadI32();
+  options_.binning =
+      static_cast<transform::SfaQuantizer::Binning>(reader->ReadU8());
+  options_.leaf_capacity = reader->ReadU64();
+  options_.sample_size = reader->ReadU64();
+  leaf_count_ = reader->ReadI64();
+  if (reader->ok() && (options_.alphabet < 2 || options_.alphabet > 256 ||
+                       options_.leaf_capacity == 0)) {
+    reader->Fail("SFA options are out of range");
+  }
+  reader->EnterSection("quantizer");
+  const uint64_t dims = reader->ReadU64();
+  std::vector<std::vector<double>> bins;
+  for (uint64_t d = 0; d < dims && reader->ok(); ++d) {
+    bins.push_back(reader->ReadPodVector<double>());
+    if (reader->ok() &&
+        bins.back().size() != static_cast<size_t>(options_.alphabet) - 1) {
+      reader->Fail("SFA breakpoint table does not match the alphabet");
+    }
+  }
+  if (!reader->ok()) return reader->status();
+  quantizer_ =
+      transform::SfaQuantizer::FromBreakpoints(std::move(bins),
+                                               options_.alphabet);
+  reader->EnterSection("summaries");
+  dfts_ = reader->ReadPodVector<double>();
+  words_ = reader->ReadPodVector<uint8_t>();
+  if (reader->ok() && (dfts_.size() != data.size() * quantizer_.dims() ||
+                       words_.size() != data.size() * quantizer_.dims())) {
+    reader->Fail("SFA summary file does not cover the dataset");
+  }
+  reader->EnterSection("tree");
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  root_ = LoadNode(reader, data.size());
+  return reader->status();
 }
 
 void SfaTrie::Insert(core::SeriesId id, Node* node) {

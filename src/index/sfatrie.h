@@ -40,13 +40,17 @@ class SfaTrie : public core::SearchMethod {
             .supports_ng = true,
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
-            .leaf_visit_budget = true};
+            .leaf_visit_budget = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
@@ -55,6 +59,10 @@ class SfaTrie : public core::SearchMethod {
 
  private:
   struct Node;
+
+  static void SaveNode(const Node& node, io::IndexWriter* writer);
+  std::unique_ptr<Node> LoadNode(io::IndexReader* reader,
+                                 size_t series_count) const;
 
   void Insert(core::SeriesId id, Node* node);
   void SplitLeaf(Node* leaf);

@@ -5,13 +5,14 @@
 
 #include "core/distance.h"
 #include "io/counted_storage.h"
+#include "io/index_codec.h"
 #include "transform/dft.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace hydra::index {
 
-core::BuildStats VaFile::Build(const core::Dataset& data) {
+core::BuildStats VaFile::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   const size_t dims =
@@ -48,6 +49,76 @@ core::BuildStats VaFile::Build(const core::Dataset& data) {
       data.size() * (quantizer_.ApproximationBytes() + sizeof(float)));
   stats.random_writes = 1;
   return stats;
+}
+
+void VaFile::DoSave(io::IndexWriter* writer) const {
+  writer->BeginSection("options");
+  writer->WriteU64(options_.dims);
+  writer->WriteI32(options_.total_bits);
+  writer->WriteU8(static_cast<uint8_t>(options_.allocation));
+  writer->WriteU8(static_cast<uint8_t>(options_.placement));
+  writer->EndSection();
+  writer->BeginSection("quantizer");
+  writer->WriteI32(quantizer_.total_bits());
+  writer->WriteU64(quantizer_.dims());
+  for (size_t d = 0; d < quantizer_.dims(); ++d) {
+    writer->WriteI32(quantizer_.bits_for(d));
+    const auto edges = quantizer_.EdgesFor(d);
+    writer->WritePodVector(
+        std::vector<double>(edges.begin(), edges.end()));
+  }
+  writer->EndSection();
+  writer->BeginSection("approximations");
+  writer->WritePodVector(cells_);
+  writer->WritePodVector(tail_energy_);
+  writer->EndSection();
+}
+
+util::Status VaFile::DoOpen(io::IndexReader* reader,
+                            const core::Dataset& data) {
+  reader->EnterSection("options");
+  options_.dims = reader->ReadU64();
+  options_.total_bits = reader->ReadI32();
+  options_.allocation =
+      static_cast<transform::VaPlusQuantizer::Allocation>(reader->ReadU8());
+  options_.placement =
+      static_cast<transform::VaPlusQuantizer::CellPlacement>(
+          reader->ReadU8());
+  reader->EnterSection("quantizer");
+  const int total_bits = reader->ReadI32();
+  const uint64_t dims = reader->ReadU64();
+  std::vector<int> bits;
+  std::vector<std::vector<double>> edges;
+  for (uint64_t d = 0; d < dims && reader->ok(); ++d) {
+    const int b = reader->ReadI32();
+    std::vector<double> e = reader->ReadPodVector<double>();
+    if (reader->ok() &&
+        (b < 0 || b > transform::VaPlusQuantizer::kMaxBitsPerDim ||
+         e.size() != (size_t{1} << b) + 1)) {
+      reader->Fail("VA+ quantizer table is malformed");
+      break;
+    }
+    bits.push_back(b);
+    edges.push_back(std::move(e));
+  }
+  if (reader->ok() && total_bits < 1) {
+    reader->Fail("VA+ quantizer bit budget is malformed");
+  }
+  if (!reader->ok()) return reader->status();
+  quantizer_ = transform::VaPlusQuantizer::FromTables(std::move(edges),
+                                                      std::move(bits),
+                                                      total_bits);
+  reader->EnterSection("approximations");
+  cells_ = reader->ReadPodVector<uint16_t>();
+  tail_energy_ = reader->ReadPodVector<double>();
+  if (reader->ok() &&
+      (cells_.size() != data.size() * quantizer_.dims() ||
+       tail_energy_.size() != data.size())) {
+    reader->Fail("VA+ approximation file does not cover the dataset");
+  }
+  if (!reader->ok()) return reader->status();
+  data_ = &data;
+  return reader->status();
 }
 
 core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,

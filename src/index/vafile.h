@@ -39,13 +39,17 @@ class VaFile : public core::SearchMethod {
   core::MethodTraits traits() const override {
     return {.concurrent_queries = true,
             .serial_reason = "",
-            .supports_epsilon = true};
+            .supports_epsilon = true,
+            .supports_persistence = true};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
+  void DoSave(io::IndexWriter* writer) const override;
+  util::Status DoOpen(io::IndexReader* reader,
+                      const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,

@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace hydra::io {
@@ -51,6 +53,38 @@ util::Result<core::Dataset> ReadSeriesFile(const std::string& path,
   const size_t count = header[1];
   const size_t length = header[2];
   if (length == 0) return util::Status::Error("zero series length: " + path);
+  // Overflow-safe in two steps: dividing the cap first means no
+  // intermediate product can wrap (a count near 2^62 would make
+  // `count * sizeof(Value)` itself wrap — to exactly 0 for a SIGFPE).
+  if (count != 0 &&
+      length >
+          std::numeric_limits<uint64_t>::max() / sizeof(core::Value) /
+              count) {
+    return util::Status::Error("series file header overflows: " + path);
+  }
+  // The file size must be exactly header + count * length values: a
+  // truncated file (partial final series) or trailing garbage would
+  // otherwise be accepted silently and queried as if it were real data.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return util::Status::Error("cannot seek series file: " + path);
+  }
+  const long file_size = std::ftell(f.get());
+  if (file_size < 0) {
+    return util::Status::Error("cannot stat series file: " + path);
+  }
+  const uint64_t expected =
+      sizeof(header) + count * length * sizeof(core::Value);
+  if (static_cast<uint64_t>(file_size) != expected) {
+    return util::Status::Error(
+        "series file size mismatch (truncated or trailing bytes): header "
+        "promises " +
+        std::to_string(count) + " x " + std::to_string(length) +
+        " series = " + std::to_string(expected) + " bytes, file has " +
+        std::to_string(file_size) + ": " + path);
+  }
+  if (std::fseek(f.get(), sizeof(header), SEEK_SET) != 0) {
+    return util::Status::Error("cannot seek series file: " + path);
+  }
   core::Dataset data(name, length);
   data.Reserve(count);
   std::vector<core::Value> row(length);

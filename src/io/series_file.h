@@ -14,7 +14,10 @@ namespace hydra::io {
 util::Status WriteSeriesFile(const std::string& path,
                              const core::Dataset& data);
 
-/// Reads a binary series file written by WriteSeriesFile.
+/// Reads a binary series file written by WriteSeriesFile. Strict about
+/// size: the file must hold exactly the header plus count * length
+/// values — a truncated file (partial final series) or trailing garbage
+/// is rejected with an error, never silently accepted.
 util::Result<core::Dataset> ReadSeriesFile(const std::string& path,
                                            const std::string& name = "file");
 

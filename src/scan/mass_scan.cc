@@ -6,7 +6,7 @@
 
 namespace hydra::scan {
 
-core::BuildStats MassScan::Build(const core::Dataset& data) {
+core::BuildStats MassScan::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   norms_sq_.resize(data.size());

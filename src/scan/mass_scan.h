@@ -22,11 +22,15 @@ class MassScan : public core::SearchMethod {
   /// Fourier domain with no bound to relax (approximate modes fall back to
   /// exact, reported); the max_raw_series budget truncates the scan.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .persistence_reason =
+                "sequential scan: Build only precomputes per-series "
+                "norms, cheaper to redo than to persist"};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,

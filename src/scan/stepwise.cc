@@ -10,7 +10,7 @@
 
 namespace hydra::scan {
 
-core::BuildStats Stepwise::Build(const core::Dataset& data) {
+core::BuildStats Stepwise::DoBuild(const core::Dataset& data) {
   util::WallTimer timer;
   data_ = &data;
   const size_t count = data.size();

@@ -34,11 +34,16 @@ class Stepwise : public core::SearchMethod {
   /// modes fall back to exact, reported); the max_raw_series budget
   /// truncates the final raw-refinement pass.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .persistence_reason =
+                "sequential scan: the Haar coefficient files are a "
+                "deterministic one-pass transform, cheaper to redo than "
+                "to persist"};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,

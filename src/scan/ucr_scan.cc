@@ -6,7 +6,7 @@
 
 namespace hydra::scan {
 
-core::BuildStats UcrScan::Build(const core::Dataset& data) {
+core::BuildStats UcrScan::DoBuild(const core::Dataset& data) {
   data_ = &data;
   return core::BuildStats{};  // no preprocessing
 }

@@ -19,11 +19,14 @@ class UcrScan : public core::SearchMethod {
   /// bound against (approximate modes fall back to exact, reported); the
   /// max_raw_series budget truncates the scan.
   core::MethodTraits traits() const override {
-    return {.concurrent_queries = true, .serial_reason = ""};
+    return {.concurrent_queries = true,
+            .serial_reason = "",
+            .persistence_reason =
+                "sequential scan: there is no index structure to persist"};
   }
-  core::BuildStats Build(const core::Dataset& data) override;
 
  protected:
+  core::BuildStats DoBuild(const core::Dataset& data) override;
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,

@@ -43,6 +43,19 @@ SfaQuantizer SfaQuantizer::Train(
   return q;
 }
 
+SfaQuantizer SfaQuantizer::FromBreakpoints(
+    std::vector<std::vector<double>> bins, int alphabet) {
+  HYDRA_CHECK(alphabet >= 2 && alphabet <= 256);
+  for (const auto& b : bins) {
+    HYDRA_CHECK_MSG(b.size() == static_cast<size_t>(alphabet) - 1,
+                    "every dimension needs alphabet-1 breakpoints");
+  }
+  SfaQuantizer q;
+  q.alphabet_ = alphabet;
+  q.bins_ = std::move(bins);
+  return q;
+}
+
 std::vector<uint8_t> SfaQuantizer::Quantize(std::span<const double> dft) const {
   HYDRA_DCHECK(dft.size() == bins_.size());
   std::vector<uint8_t> word(dft.size());

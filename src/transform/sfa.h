@@ -21,6 +21,14 @@ class SfaQuantizer {
       const std::vector<std::vector<double>>& sample_dfts, int alphabet,
       Binning binning);
 
+  /// Rebuilds a trained quantizer from persisted breakpoint tables (the
+  /// inverse of BreakpointsFor over all dimensions). `alphabet` must lie
+  /// in [2, 256] and every dimension must carry alphabet-1 breakpoints —
+  /// CHECK-enforced, so callers deserializing untrusted bytes validate
+  /// first.
+  static SfaQuantizer FromBreakpoints(std::vector<std::vector<double>> bins,
+                                      int alphabet);
+
   /// SFA word of a DFT vector: one symbol per dimension.
   std::vector<uint8_t> Quantize(std::span<const double> dft) const;
 

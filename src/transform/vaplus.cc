@@ -10,7 +10,7 @@
 namespace hydra::transform {
 namespace {
 
-constexpr int kMaxBitsPerDim = 10;
+constexpr int kMaxBitsPerDim = VaPlusQuantizer::kMaxBitsPerDim;
 
 std::vector<double> Column(const std::vector<std::vector<double>>& rows,
                            size_t d) {
@@ -91,6 +91,25 @@ VaPlusQuantizer VaPlusQuantizer::Train(
       }
     }
   }
+  return q;
+}
+
+VaPlusQuantizer VaPlusQuantizer::FromTables(
+    std::vector<std::vector<double>> edges, std::vector<int> bits,
+    int total_bits) {
+  HYDRA_CHECK(edges.size() == bits.size());
+  HYDRA_CHECK(total_bits >= 1);
+  for (size_t d = 0; d < edges.size(); ++d) {
+    HYDRA_CHECK_MSG(bits[d] >= 0 && bits[d] <= kMaxBitsPerDim,
+                    "per-dimension bit count out of range");
+    HYDRA_CHECK_MSG(
+        edges[d].size() == (size_t{1} << bits[d]) + 1,
+        "dimension needs 2^bits + 1 cell edges");
+  }
+  VaPlusQuantizer q;
+  q.edges_ = std::move(edges);
+  q.bits_ = std::move(bits);
+  q.total_bits_ = total_bits;
   return q;
 }
 

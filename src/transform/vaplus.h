@@ -21,12 +21,24 @@ class VaPlusQuantizer {
   enum class Allocation { kNonUniform, kUniform };
   enum class CellPlacement { kKmeans, kEquiDepth };
 
+  /// Hard cap on bits per dimension (1024 cells). Part of the trained
+  /// quantizer's invariants: FromTables enforces it, so deserializers
+  /// must pre-validate persisted bit counts against this same constant.
+  static constexpr int kMaxBitsPerDim = 10;
+
   /// Trains on the DFT vectors of the collection. `total_bits` is the
   /// whole-word budget (e.g. 64 bits over 16 dims).
   static VaPlusQuantizer Train(const std::vector<std::vector<double>>& dfts,
                                int total_bits,
                                Allocation allocation = Allocation::kNonUniform,
                                CellPlacement placement = CellPlacement::kKmeans);
+
+  /// Rebuilds a trained quantizer from persisted tables (the inverse of
+  /// EdgesFor/bits_for over all dimensions). Every dimension d must carry
+  /// 2^bits[d] + 1 ascending edges — CHECK-enforced, so callers
+  /// deserializing untrusted bytes validate first.
+  static VaPlusQuantizer FromTables(std::vector<std::vector<double>> edges,
+                                    std::vector<int> bits, int total_bits);
 
   /// Cell index per dimension for one DFT vector (dimensions with 0 bits
   /// have a single implicit cell and are stored as 0).
@@ -48,6 +60,8 @@ class VaPlusQuantizer {
   size_t dims() const { return bits_.size(); }
   int bits_for(size_t d) const { return bits_[d]; }
   int total_bits() const { return total_bits_; }
+  /// Cell edges of dimension `d` (2^bits_for(d) + 1 ascending values).
+  std::span<const double> EdgesFor(size_t d) const { return edges_[d]; }
   /// Bytes per stored approximation word (packed, one uint16 per used dim).
   size_t ApproximationBytes() const;
   /// Resident size of the quantizer tables in bytes.

@@ -112,6 +112,32 @@ expect_err "mtree ng" "method supports modes: exact, epsilon" \
 expect_err "mtree delta-epsilon" "M-tree does not support --mode delta-epsilon" \
   query "$d" M-tree 3 2 --mode delta-epsilon --epsilon 1 --delta 0.5
 
+# The index lifecycle flags: --index only where a persisted index can be
+# opened, `build` only for methods that can persist one, and every bad
+# index file exits 1 cleanly (never a CHECK abort).
+expect_err "index on compare" "--index is only supported" \
+  compare "$d" 2 --index "$tmp/idx"
+expect_err "index on gen" "--index is only supported" \
+  gen synth 10 8 1 "$tmp/x.bin" --index "$tmp/idx"
+expect_err "index without value" "--index needs a value" \
+  query "$d" DSTree 3 2 --index
+expect_err "build on a scan" "does not support a persisted index" \
+  build "$d" MASS "$tmp/idx"
+expect_err "query --index on a scan" "does not support --index" \
+  query "$d" MASS 3 2 --index "$tmp/idx"
+expect_err "missing index dir" "cannot open index file" \
+  query "$d" DSTree 3 2 --index "$tmp/no-such-index"
+expect_err "build unknown method" "unknown method" \
+  build "$d" NotAMethod "$tmp/idx"
+expect_ok "build then open" build "$d" DSTree "$tmp/idx"
+expect_ok "query via index" query "$d" DSTree 3 2 --index "$tmp/idx"
+expect_ok "range via index" range "$d" DSTree 5 2 --index "$tmp/idx"
+expect_err "index of another method" "was built by 'DSTree'" \
+  query "$d" SFA 3 2 --index "$tmp/idx"
+"$bin" gen synth 200 64 4 "$tmp/other.bin" >/dev/null
+expect_err "index fingerprint mismatch" "fingerprint mismatch" \
+  query "$tmp/other.bin" DSTree 3 2 --index "$tmp/idx"
+
 # Valid specs run end to end.
 expect_ok "exact default" query "$d" DSTree 3 2
 expect_ok "explicit exact" query "$d" DSTree 3 2 --mode exact

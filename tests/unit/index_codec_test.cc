@@ -1,0 +1,225 @@
+// The container contract of io::IndexWriter / IndexReader: typed values
+// round-trip, every corruption class (flipped byte, truncation, foreign
+// file, future version, reordered sections) surfaces as a clean error
+// status, and reads never run past a section's payload.
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/index_codec.h"
+
+namespace hydra::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Writes a small two-section container and returns its path.
+std::string WriteSample(const std::string& name) {
+  IndexWriter w("TestMethod", DatasetFingerprint{10, 64, 2560});
+  w.BeginSection("numbers");
+  w.WriteBool(true);
+  w.WriteU8(7);
+  w.WriteI32(-42);
+  w.WriteU32(42);
+  w.WriteI64(-1234567890123LL);
+  w.WriteU64(9876543210ULL);
+  w.WriteDouble(3.25);
+  w.EndSection();
+  w.BeginSection("blobs");
+  w.WriteString("hello");
+  w.WritePodVector(std::vector<double>{1.5, -2.5, 0.0});
+  w.WritePodVector(std::vector<uint8_t>{1, 2, 3, 4});
+  w.EndSection();
+  const std::string path = TempPath(name);
+  auto committed = w.Commit(path);
+  EXPECT_TRUE(committed.ok()) << committed.status().message();
+  return path;
+}
+
+void FlipByte(const std::string& path, long offset_from_end) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -offset_from_end, SEEK_END), 0);
+  const int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, -offset_from_end, SEEK_END), 0);
+  std::fputc(c ^ 0xFF, f);
+  std::fclose(f);
+}
+
+TEST(IndexCodec, TypedValuesRoundTrip) {
+  const std::string path = WriteSample("codec_roundtrip.hydra");
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  EXPECT_EQ(r.method_name(), "TestMethod");
+  EXPECT_EQ(r.fingerprint(), (DatasetFingerprint{10, 64, 2560}));
+  ASSERT_TRUE(r.EnterSection("numbers").ok());
+  EXPECT_EQ(r.ReadBool(), true);
+  EXPECT_EQ(r.ReadU8(), 7);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_EQ(r.ReadU32(), 42u);
+  EXPECT_EQ(r.ReadI64(), -1234567890123LL);
+  EXPECT_EQ(r.ReadU64(), 9876543210ULL);
+  EXPECT_EQ(r.ReadDouble(), 3.25);
+  ASSERT_TRUE(r.EnterSection("blobs").ok());
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadPodVector<double>(), (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(r.ReadPodVector<uint8_t>(), (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, FileBytesMatchCommitReturn) {
+  IndexWriter w("M", DatasetFingerprint{1, 2, 8});
+  w.BeginSection("s");
+  w.WriteU64(5);
+  w.EndSection();
+  const std::string path = TempPath("codec_bytes.hydra");
+  auto committed = w.Commit(path);
+  ASSERT_TRUE(committed.ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  EXPECT_EQ(std::ftell(f), committed.value());
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, MissingFileIsError) {
+  IndexReader r;
+  EXPECT_FALSE(r.Load("/nonexistent/dir/index.hydra").ok());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(IndexCodec, ForeignFileIsBadMagic) {
+  const std::string path = TempPath("codec_foreign.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = {'n', 'o', 't', ' ', 'h', 'y', 'd', 'r', 'a'};
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  IndexReader r;
+  const util::Status s = r.Load(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("magic"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, FutureVersionIsRejectedCleanly) {
+  const std::string path = WriteSample("codec_version.hydra");
+  // The version field sits right after the 8-byte magic, outside any
+  // checksum, so bumping it must report a version error, not a checksum
+  // one.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+  const uint32_t future = kIndexFormatVersion + 1;
+  std::fwrite(&future, sizeof(future), 1, f);
+  std::fclose(f);
+  IndexReader r;
+  const util::Status s = r.Load(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, FlippedPayloadByteFailsChecksum) {
+  const std::string path = WriteSample("codec_flip.hydra");
+  FlipByte(path, /*offset_from_end=*/10);  // inside the last payload
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());  // header is intact
+  ASSERT_TRUE(r.EnterSection("numbers").ok());
+  const util::Status s = r.EnterSection("blobs");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, TruncationFailsCleanly) {
+  const std::string path = WriteSample("codec_truncate.hydra");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 9), 0);
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  ASSERT_TRUE(r.EnterSection("numbers").ok());
+  EXPECT_FALSE(r.EnterSection("blobs").ok());
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, SectionOrderMismatchIsError) {
+  const std::string path = WriteSample("codec_order.hydra");
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  const util::Status s = r.EnterSection("blobs");  // "numbers" comes first
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("order"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, ReadsNeverCrossSectionEnd) {
+  const std::string path = WriteSample("codec_overread.hydra");
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  ASSERT_TRUE(r.EnterSection("numbers").ok());
+  // Drain the section, then keep reading: the sticky status latches, no
+  // crash, and further reads return zeros.
+  for (int i = 0; i < 64; ++i) r.ReadU64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_TRUE(r.ReadPodVector<double>().empty());
+}
+
+TEST(IndexCodec, CorruptVectorLengthCannotAllocate) {
+  // A section whose vector length field promises more bytes than the
+  // payload holds must fail before allocating, not OOM.
+  IndexWriter w("M", DatasetFingerprint{1, 1, 4});
+  w.BeginSection("v");
+  w.WriteU64(uint64_t{1} << 60);  // absurd element count, no elements
+  w.EndSection();
+  const std::string path = TempPath("codec_hugevec.hydra");
+  ASSERT_TRUE(w.Commit(path).ok());
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  ASSERT_TRUE(r.EnterSection("v").ok());
+  EXPECT_TRUE(r.ReadPodVector<double>().empty());
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, NodeGuardCapsRecursionDepth) {
+  // A checksum only proves the bytes match themselves: a crafted file can
+  // encode a node chain deep enough to overflow the stack, so the guard
+  // must latch an error long before that.
+  const std::string path = WriteSample("codec_depth.hydra");
+  IndexReader r;
+  ASSERT_TRUE(r.Load(path).ok());
+  std::vector<std::unique_ptr<IndexReader::NodeGuard>> guards;
+  while (r.ok() && guards.size() < 1000000) {
+    guards.push_back(std::make_unique<IndexReader::NodeGuard>(&r));
+  }
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nests too deeply"), std::string::npos)
+      << r.status().message();
+  // Deep but legitimate structures stay well under the cap.
+  EXPECT_GT(guards.size(), 1000u);
+  guards.clear();
+  std::remove(path.c_str());
+}
+
+TEST(IndexCodec, Crc32KnownVector) {
+  // The standard IEEE test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace hydra::io

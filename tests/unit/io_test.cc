@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <cstdio>
 
 #include <gtest/gtest.h>
@@ -113,6 +115,56 @@ TEST(SeriesFile, RoundTrip) {
 TEST(SeriesFile, MissingFileIsError) {
   auto r = ReadSeriesFile("/nonexistent/path/file.bin");
   EXPECT_FALSE(r.ok());
+}
+
+TEST(SeriesFile, TruncatedFileIsError) {
+  // A partial final series must be rejected, not silently dropped: the
+  // header's promised size is the contract.
+  const auto data = MakeData(5, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_truncated.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 7), 0);
+  auto r = ReadSeriesFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("size mismatch"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFile, TrailingGarbageIsError) {
+  const auto data = MakeData(5, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_trailing.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[3] = {9, 9, 9};
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  auto r = ReadSeriesFile(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFile, OverflowingHeaderIsError) {
+  // A crafted header whose count * length * sizeof(Value) wraps must be
+  // rejected up front — not crash (a naive guard divides by the wrapped
+  // product: count = 2^62 makes it exactly 0) and not allocate.
+  const std::string path = ::testing::TempDir() + "/hydra_overflow.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint64_t header[3] = {0x485944524153ULL, uint64_t{1} << 62, 16};
+  std::fwrite(header, sizeof(header), 1, f);
+  std::fclose(f);
+  auto r = ReadSeriesFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflow"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
 }
 
 TEST(SeriesFile, BadMagicIsError) {

@@ -2,15 +2,22 @@
 //
 //   hydra gen <family> <count> <length> <seed> <out.bin>
 //       Generate a dataset (synth|seismic|astro|sald|deep) to a series file.
+//   hydra build <data.bin> <method> <index-dir>
+//       Build the method's index once and persist it under <index-dir>
+//       (a versioned, checksummed container; see docs/ARCHITECTURE.md).
 //   hydra query <data.bin> <method> <k> [queries]
 //       k-NN of generated probe queries against a series file. Defaults to
 //       exact answers; --mode selects a relaxed guarantee (see below).
+//       --index <dir> opens the persisted index instead of rebuilding
+//       (the paper's economics: construction is paid once, amortized over
+//       every later query process).
 //   hydra range <data.bin> <method> <radius> [queries]
-//       Exact r-range queries.
+//       Exact r-range queries; accepts --index <dir> like `query`.
 //   hydra compare <data.bin> [queries]
 //       Run the best six methods and print the scenario table.
 //   hydra methods
-//       List the available methods.
+//       Print the method traits matrix (quality modes, concurrency,
+//       persistence).
 //
 // `query` and `compare` accept --threads N anywhere after the command:
 // queries of one batch run concurrently when the method supports it
@@ -52,12 +59,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  hydra gen <family> <count> <length> <seed> <out.bin>\n"
+               "  hydra build <data.bin> <method> <index-dir>\n"
                "  hydra query <data.bin> <method> <k> [queries=10] "
                "[--threads N]\n"
-               "              [--mode exact|ng|epsilon|delta-epsilon] "
-               "[--epsilon X]\n"
+               "              [--index <dir>] "
+               "[--mode exact|ng|epsilon|delta-epsilon] [--epsilon X]\n"
                "              [--delta X] [--max-leaves N] [--max-raw N]\n"
-               "  hydra range <data.bin> <method> <radius> [queries=10]\n"
+               "  hydra range <data.bin> <method> <radius> [queries=10] "
+               "[--index <dir>]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
                "  hydra methods\n");
   return 2;
@@ -332,8 +341,30 @@ util::Result<core::Dataset> Load(const char* path) {
   return io::ReadSeriesFile(path, "cli");
 }
 
+/// Builds or opens the method over `data` depending on `index_dir`
+/// (nullptr = fresh build). Prints the phase line; returns false (after
+/// printing an error) when opening the persisted index failed.
+bool BuildOrOpen(core::SearchMethod* method, const core::Dataset& data,
+                 const char* index_dir) {
+  if (index_dir == nullptr) {
+    const core::BuildStats build = method->Build(data);
+    std::printf("built %s over %zu series in %.2fs CPU\n",
+                method->name().c_str(), data.size(), build.cpu_seconds);
+    return true;
+  }
+  util::Result<core::BuildStats> opened = method->Open(index_dir, data);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().message().c_str());
+    return false;
+  }
+  std::printf("opened %s index from %s in %.2fs load (build skipped)\n",
+              method->name().c_str(), index_dir,
+              opened.value().load_seconds);
+  return true;
+}
+
 int CmdQuery(int argc, char** argv, uint64_t threads,
-             const QueryFlags& flags) {
+             const QueryFlags& flags, const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -348,8 +379,16 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
     return BadNumber("queries", argv[5]);
   }
   auto method = bench::CreateMethod(argv[3]);
+  const core::MethodTraits traits = method->traits();
   core::QuerySpec spec = core::QuerySpec::Knn(k);
-  if (!BuildQuerySpec(flags, method->traits(), method->name(), &spec)) {
+  if (!BuildQuerySpec(flags, traits, method->name(), &spec)) {
+    return 1;
+  }
+  // Honest refusal before touching the data file: --index on a method
+  // that cannot persist an index could never succeed.
+  if (index_dir != nullptr && !traits.supports_persistence) {
+    std::fprintf(stderr, "error: %s does not support --index (%s)\n",
+                 method->name().c_str(), traits.persistence_reason.c_str());
     return 1;
   }
   auto loaded = Load(argv[2]);
@@ -359,9 +398,7 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
   }
   const core::Dataset data = std::move(loaded).value();
 
-  const core::BuildStats build = method->Build(data);
-  std::printf("built %s over %zu series in %.2fs CPU\n",
-              method->name().c_str(), data.size(), build.cpu_seconds);
+  if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
   util::WallTimer timer;
   const core::BatchKnnResult batch = bench::SearchKnnBatch(
@@ -402,7 +439,7 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
   return 0;
 }
 
-int CmdRange(int argc, char** argv) {
+int CmdRange(int argc, char** argv, const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -417,6 +454,13 @@ int CmdRange(int argc, char** argv) {
   if (argc > 5 && !ParseUint(argv[5], &queries)) {
     return BadNumber("queries", argv[5]);
   }
+  auto method = bench::CreateMethod(argv[3]);
+  const core::MethodTraits traits = method->traits();
+  if (index_dir != nullptr && !traits.supports_persistence) {
+    std::fprintf(stderr, "error: %s does not support --index (%s)\n",
+                 method->name().c_str(), traits.persistence_reason.c_str());
+    return 1;
+  }
   auto loaded = Load(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
@@ -424,15 +468,47 @@ int CmdRange(int argc, char** argv) {
   }
   const core::Dataset data = std::move(loaded).value();
 
-  auto method = bench::CreateMethod(argv[3]);
-  method->Build(data);
+  if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
   for (size_t q = 0; q < probe.queries.size(); ++q) {
-    const core::RangeResult r = method->SearchRange(probe.queries[q], radius);
+    const core::QueryResult r =
+        method->Execute(probe.queries[q], core::QuerySpec::Range(radius));
     std::printf("query %2zu: %zu series within r=%.3f [examined %lld]\n", q,
-                r.matches.size(), radius,
+                r.neighbors.size(), radius,
                 static_cast<long long>(r.stats.raw_series_examined));
   }
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
+  auto method = bench::CreateMethod(argv[3]);
+  const core::MethodTraits traits = method->traits();
+  // Traits-derived refusal before any expensive work: a method without
+  // DoSave/DoOpen hooks can never produce an index directory.
+  if (!traits.supports_persistence) {
+    std::fprintf(stderr,
+                 "error: %s does not support a persisted index (%s)\n",
+                 method->name().c_str(), traits.persistence_reason.c_str());
+    return 1;
+  }
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  const core::BuildStats build = method->Build(data);
+  std::printf("built %s over %zu series in %.2fs CPU\n",
+              method->name().c_str(), data.size(), build.cpu_seconds);
+  const util::Result<int64_t> saved = method->Save(argv[4]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.status().message().c_str());
+    return 1;
+  }
+  std::printf("saved %s index to %s (%lld bytes)\n", method->name().c_str(),
+              argv[4], static_cast<long long>(saved.value()));
   return 0;
 }
 
@@ -474,9 +550,20 @@ int CmdCompare(int argc, char** argv, uint64_t threads) {
 }
 
 int CmdMethods() {
+  // The full traits matrix: quality modes, batch concurrency, and index
+  // persistence, each derived from the method's own traits() so this
+  // listing can never drift from what Execute/Save/Open actually accept.
+  util::Table table({"method", "modes", "concurrent", "persistent"});
   for (const std::string& name : bench::AllMethodNames()) {
-    std::printf("%s\n", name.c_str());
+    const core::MethodTraits traits = bench::CreateMethod(name)->traits();
+    std::string modes = "exact";
+    if (traits.supports_ng) modes += ",ng";
+    if (traits.supports_epsilon) modes += ",epsilon";
+    if (traits.supports_delta_epsilon) modes += ",delta-epsilon";
+    table.AddRow({name, modes, traits.concurrent_queries ? "yes" : "no",
+                  traits.supports_persistence ? "yes" : "no"});
   }
+  table.Print("method traits");
   return 0;
 }
 
@@ -497,6 +584,8 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const bool had_spec_flags = args.size() != before_spec;
+  const char* index_dir = nullptr;
+  if (!ExtractOption(&args, "--index", &index_dir)) return 1;
   if (args.size() < 2) return Usage();  // argv was only flags
   const int n = static_cast<int>(args.size());
   const std::string cmd = args[1];
@@ -515,9 +604,19 @@ int Main(int argc, char** argv) {
                          "--max-raw are only supported by 'query'\n");
     return 1;
   }
+  // Same honesty for --index: only the query-answering commands can open
+  // a persisted index (`build` writes one, it never reads one).
+  if (index_dir != nullptr && cmd != "query" && cmd != "range") {
+    std::fprintf(stderr, "error: --index is only supported by 'query' and "
+                         "'range'\n");
+    return 1;
+  }
   if (cmd == "gen") return CmdGen(n, args.data());
-  if (cmd == "query") return CmdQuery(n, args.data(), threads, flags);
-  if (cmd == "range") return CmdRange(n, args.data());
+  if (cmd == "build") return CmdBuild(n, args.data());
+  if (cmd == "query") {
+    return CmdQuery(n, args.data(), threads, flags, index_dir);
+  }
+  if (cmd == "range") return CmdRange(n, args.data(), index_dir);
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
   return Usage();

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Persistence smoke: for every persistent method, gen → build → save →
+# open → query must print exactly the same answers as a fresh rebuild,
+# and the opened run must report the build as skipped.
+set -euo pipefail
+HYDRA="${1:?usage: persistence_smoke.sh <path-to-hydra-binary>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$HYDRA" gen synth 2000 64 7 "$TMP/data.bin" > /dev/null
+
+for m in "ADS+" "DSTree" "iSAX2+" "M-tree" "R*-tree" "SFA" "VA+file"; do
+  "$HYDRA" build "$TMP/data.bin" "$m" "$TMP/idx" > /dev/null
+  "$HYDRA" query "$TMP/data.bin" "$m" 5 4 --index "$TMP/idx" > "$TMP/opened.txt"
+  grep -q "build skipped" "$TMP/opened.txt" \
+    || { echo "FAIL($m): opened run did not skip the build"; exit 1; }
+  grep '^query' "$TMP/opened.txt" > "$TMP/opened_answers.txt"
+  "$HYDRA" query "$TMP/data.bin" "$m" 5 4 | grep '^query' > "$TMP/rebuilt.txt"
+  diff "$TMP/opened_answers.txt" "$TMP/rebuilt.txt" \
+    || { echo "FAIL($m): opened index answered differently"; exit 1; }
+  echo "OK $m"
+  rm -rf "$TMP/idx"
+done
+
+# The scans refuse to persist, with exit 1 and a reason — never a crash.
+if "$HYDRA" build "$TMP/data.bin" UCR-Suite "$TMP/idx" 2> "$TMP/err.txt"; then
+  echo "FAIL: scan build should exit 1"; exit 1
+fi
+grep -q "does not support a persisted index" "$TMP/err.txt" \
+  || { echo "FAIL: scan refusal lacks a reason"; exit 1; }
+
+echo "persistence smoke OK"
