@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bench/harness.h"
@@ -15,6 +17,7 @@
 #include "gen/realistic.h"
 #include "gen/workload.h"
 #include "io/disk_model.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace hydra::bench {
@@ -37,6 +40,84 @@ inline void Banner(const char* exhibit, const char* what,
   std::printf("%s — %s\n", exhibit, what);
   std::printf("Paper expectation: %s\n", paper_expectation);
   std::printf("=====================================================\n");
+}
+
+/// Extracts a `--json <path>` pair from (argc, argv), returning the path
+/// (or `default_path` when the flag is absent; pass nullptr for "no JSON
+/// unless asked"). The two tokens are removed from argv so the bench's
+/// positional argument parsing stays untouched. A valueless trailing
+/// `--json` exits 1 with an error — silently dropping it would either
+/// skip the JSON output or leave the flag to be misparsed as a
+/// positional argument.
+inline const char* ExtractJsonPath(int* argc, char** argv,
+                                   const char* default_path) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= *argc) {
+      std::fprintf(stderr, "error: --json needs a path\n");
+      std::exit(1);
+    }
+    const char* path = argv[i + 1];
+    for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+    *argc -= 2;
+    return path;
+  }
+  return default_path;
+}
+
+/// Serializes one measured run as a flat JSON record: identity (method,
+/// dataset shape, shards, threads), measured build/load/query seconds,
+/// modeled HDD/SSD query seconds, and the summed query ledger — the
+/// machine-readable counterpart of every bench table row, so perf can be
+/// tracked across commits without scraping stdout.
+inline void JsonRunRecord(util::JsonWriter* json, const MethodRun& run,
+                          size_t shards, size_t threads,
+                          const core::Dataset& data,
+                          const io::DiskModel& hdd,
+                          const io::DiskModel& ssd) {
+  core::SearchStats total;
+  for (const core::SearchStats& q : run.queries) total.Add(q);
+  json->BeginObject();
+  json->Key("method");
+  json->String(run.method);
+  json->Key("dataset_series");
+  json->Uint(data.size());
+  json->Key("series_length");
+  json->Uint(data.length());
+  json->Key("shards");
+  json->Uint(shards);
+  json->Key("threads");
+  json->Uint(threads);
+  json->Key("queries");
+  json->Uint(run.queries.size());
+  json->Key("build_cpu_seconds");
+  json->Double(run.build.cpu_seconds);
+  json->Key("load_seconds");
+  json->Double(run.build.load_seconds);
+  json->Key("query_cpu_seconds");
+  json->Double(total.cpu_seconds);
+  json->Key("query_hdd_seconds");
+  json->Double(ExactWorkloadSeconds(run, hdd));
+  json->Key("query_ssd_seconds");
+  json->Double(ExactWorkloadSeconds(run, ssd));
+  json->Key("stats");
+  json->BeginObject();
+  json->Key("distance_computations");
+  json->Int(total.distance_computations);
+  json->Key("raw_series_examined");
+  json->Int(total.raw_series_examined);
+  json->Key("lower_bound_computations");
+  json->Int(total.lower_bound_computations);
+  json->Key("nodes_visited");
+  json->Int(total.nodes_visited);
+  json->Key("sequential_reads");
+  json->Int(total.sequential_reads);
+  json->Key("random_seeks");
+  json->Int(total.random_seeks);
+  json->Key("bytes_read");
+  json->Int(total.bytes_read);
+  json->EndObject();
+  json->EndObject();
 }
 
 }  // namespace hydra::bench

@@ -4,6 +4,8 @@
 // the paper runs every query serially under identical conditions; the
 // ROADMAP's production north-star needs concurrent query answering on top
 // of the same methods (cf. "Data Series Indexing Gone Parallel").
+// Usage: throughput_scaling [--json <path>] — the optional flag writes
+// the sweep as machine-readable JSON next to the printed table.
 #include <algorithm>
 #include <vector>
 
@@ -14,7 +16,8 @@
 namespace hydra::bench {
 namespace {
 
-void Run() {
+int Run(int argc, char** argv) {
+  const char* json_path = ExtractJsonPath(&argc, argv, nullptr);
   Banner("Batch throughput",
          "queries/sec vs worker threads (batch engine, shared index)",
          "near-linear scaling while cores last — batch answers are "
@@ -33,6 +36,13 @@ void Run() {
 
   std::vector<size_t> sweep;
   for (size_t t = 1; t <= std::max<size_t>(4, hw); t *= 2) sweep.push_back(t);
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("exhibit");
+  json.String("throughput_scaling");
+  json.Key("runs");
+  json.BeginArray();
 
   util::Table table(
       {"method", "threads", "wall_s", "queries_per_s", "speedup"});
@@ -53,6 +63,20 @@ void Run() {
       table.AddRow({name, util::Table::Num(static_cast<double>(threads), 0),
                     util::Table::Num(wall, 3), util::Table::Num(qps, 1),
                     util::Table::Num(serial_wall / wall, 2)});
+      json.BeginObject();
+      json.Key("method");
+      json.String(name);
+      json.Key("threads");
+      json.Uint(threads);
+      json.Key("threads_used");
+      json.Uint(batch.threads_used);
+      json.Key("queries");
+      json.Uint(batch.queries.size());
+      json.Key("wall_seconds");
+      json.Double(wall);
+      json.Key("queries_per_second");
+      json.Double(qps);
+      json.EndObject();
     }
   }
   table.Print("batch throughput (speedup = wall_1thread / wall_Nthreads)");
@@ -60,12 +84,21 @@ void Run() {
     std::printf("\nnote: this machine exposes %zu core(s); thread counts "
                 "above that measure oversubscription, not scaling.\n", hw);
   }
+
+  json.EndArray();
+  json.EndObject();
+  if (json_path != nullptr) {
+    const util::Status written = json.WriteTo(json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.message().c_str());
+      return 1;
+    }
+    std::printf("\nwrote machine-readable sweep to %s\n", json_path);
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace hydra::bench
 
-int main() {
-  hydra::bench::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return hydra::bench::Run(argc, argv); }

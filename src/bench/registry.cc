@@ -1,5 +1,7 @@
 #include "bench/registry.h"
 
+#include "shard/sharded_index.h"
+
 #include "index/ads.h"
 #include "index/dstree.h"
 #include "index/isax2plus.h"
@@ -103,6 +105,21 @@ std::vector<std::string> EpsilonCapableNames() {
 
 std::vector<std::string> PersistentCapableNames() {
   return NamesSupporting(&core::MethodTraits::supports_persistence);
+}
+
+std::vector<std::string> ShardableNames() {
+  return NamesSupporting(&core::MethodTraits::shardable);
+}
+
+std::unique_ptr<core::SearchMethod> CreateShardedMethod(
+    const std::string& name, size_t shards, size_t threads,
+    size_t leaf_capacity) {
+  shard::ShardedOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  return std::make_unique<shard::ShardedIndex>(
+      [name, leaf_capacity] { return CreateMethod(name, leaf_capacity); },
+      options);
 }
 
 }  // namespace hydra::bench

@@ -42,6 +42,20 @@ std::vector<std::string> EpsilonCapableNames();
 /// structure to persist.
 std::vector<std::string> PersistentCapableNames();
 
+/// The methods whose traits advertise sharding: they can serve as the
+/// per-shard components of a shard::ShardedIndex (the seven index
+/// methods; the sequential scans have no index partition to build).
+std::vector<std::string> ShardableNames();
+
+/// Creates a sharded container over `shards` per-shard instances of the
+/// named method (which must be shardable — the CLI refuses others up
+/// front), fanning builds and queries out over `threads` workers (0 =
+/// one per shard up to the hardware; 1 = serial). `leaf_capacity` is
+/// forwarded to every per-shard CreateMethod call.
+std::unique_ptr<core::SearchMethod> CreateShardedMethod(
+    const std::string& name, size_t shards, size_t threads,
+    size_t leaf_capacity = 0);
+
 }  // namespace hydra::bench
 
 #endif  // HYDRA_BENCH_REGISTRY_H_

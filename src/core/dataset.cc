@@ -12,20 +12,41 @@ Dataset::Dataset(std::string name, size_t length)
 }
 
 void Dataset::Append(SeriesView series) {
+  HYDRA_CHECK_MSG(!is_slice(), "Append on a slice (slices are read-only)");
   HYDRA_CHECK_MSG(series.size() == length_, "Append: series length mismatch");
   values_.insert(values_.end(), series.begin(), series.end());
   ++count_;
 }
 
-void Dataset::Reserve(size_t n) { values_.reserve(n * length_); }
+void Dataset::Reserve(size_t n) {
+  HYDRA_CHECK_MSG(!is_slice(), "Reserve on a slice (slices are read-only)");
+  values_.reserve(n * length_);
+}
+
+Dataset Dataset::Slice(size_t begin, size_t count) const {
+  HYDRA_CHECK_MSG(count > 0, "Slice needs at least one series");
+  HYDRA_CHECK_MSG(begin <= count_ && count <= count_ - begin,
+                  "Slice range exceeds the dataset");
+  Dataset slice;
+  slice.name_ = name_ + "[" + std::to_string(begin) + "," +
+                std::to_string(begin + count) + ")";
+  slice.length_ = length_;
+  slice.count_ = count;
+  slice.borrowed_ = data() + begin * length_;
+  return slice;
+}
 
 Value* Dataset::AppendUninitialized() {
+  HYDRA_CHECK_MSG(!is_slice(),
+                  "AppendUninitialized on a slice (slices are read-only)");
   values_.resize(values_.size() + length_);
   ++count_;
   return values_.data() + (count_ - 1) * length_;
 }
 
 void Dataset::ZNormalizeAll() {
+  HYDRA_CHECK_MSG(!is_slice(),
+                  "ZNormalizeAll on a slice (normalize the parent dataset)");
   for (size_t i = 0; i < count_; ++i) {
     ZNormalize(std::span<Value>(values_.data() + i * length_, length_));
   }

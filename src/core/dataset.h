@@ -16,6 +16,14 @@ namespace hydra::core {
 /// The dataset is the ground truth "raw data file": index methods must route
 /// all access to it through io::CountedStorage so that sequential reads and
 /// random seeks are charged to the I/O ledger.
+///
+/// A Dataset either owns its values (the normal case: generators and
+/// io::ReadSeriesFile produce owning datasets) or borrows a contiguous
+/// sub-range of another dataset's buffer (a *slice*, see Slice). Slices are
+/// the shard views of the sharded index subsystem: shard i is built over
+/// data.Slice(begin_i, count_i) and addresses series by *local* id in
+/// [0, count_i); the sharded container maps local ids back to global ones
+/// by adding begin_i. Slices are read-only and never copy series values.
 class Dataset {
  public:
   Dataset() = default;
@@ -23,39 +31,63 @@ class Dataset {
   Dataset(std::string name, size_t length);
 
   /// Appends one series; `series.size()` must equal `length()`.
+  /// CHECK-aborts on a slice (slices are read-only views).
   void Append(SeriesView series);
-  /// Pre-allocates storage for `n` series.
+  /// Pre-allocates storage for `n` series. CHECK-aborts on a slice.
   void Reserve(size_t n);
 
   /// Number of series in the collection.
   size_t size() const { return count_; }
   /// Number of points per series (the dimensionality).
   size_t length() const { return length_; }
-  /// Dataset size in bytes (the size of the simulated raw file).
-  size_t bytes() const { return values_.size() * sizeof(Value); }
+  /// Dataset size in bytes (the size of the simulated raw file; for a
+  /// slice, the size of the simulated per-shard partition file).
+  size_t bytes() const { return count_ * length_ * sizeof(Value); }
   const std::string& name() const { return name_; }
 
   /// View of the i-th series.
   SeriesView operator[](size_t i) const {
-    return SeriesView(values_.data() + i * length_, length_);
+    return SeriesView(data() + i * length_, length_);
   }
 
   /// The full value buffer (series-major).
-  std::span<const Value> values() const { return values_; }
+  std::span<const Value> values() const {
+    return std::span<const Value>(data(), count_ * length_);
+  }
+
+  /// Non-owning view of `count` contiguous series starting at `begin`
+  /// (`begin + count` must not exceed size(); `count` must be positive).
+  /// The returned dataset is read-only (mutators CHECK-abort) and shares
+  /// this dataset's buffer, so this dataset must outlive the slice — the
+  /// same lifetime contract SearchMethod already imposes on the dataset it
+  /// is built over. Slicing a slice composes (offsets stay relative to the
+  /// slice being cut).
+  Dataset Slice(size_t begin, size_t count) const;
+
+  /// True when this dataset borrows another's buffer (see Slice).
+  bool is_slice() const { return borrowed_ != nullptr; }
 
   /// Mutable access for generators that fill series in place.
+  /// CHECK-aborts on a slice.
   Value* AppendUninitialized();
 
   /// Z-normalizes every series in place (mean 0, stddev 1). Series with
   /// near-zero variance become all-zero. The paper's datasets are
   /// normalized in advance; generators call this once at the end.
+  /// CHECK-aborts on a slice (normalize the parent instead).
   void ZNormalizeAll();
 
  private:
+  const Value* data() const {
+    return borrowed_ != nullptr ? borrowed_ : values_.data();
+  }
+
   std::string name_;
   size_t length_ = 0;
   size_t count_ = 0;
   std::vector<Value> values_;
+  /// Borrowed series-major buffer of a slice; nullptr for owning datasets.
+  const Value* borrowed_ = nullptr;
 };
 
 /// Z-normalizes `series` in place. Near-constant input becomes all zeros.

@@ -3,6 +3,7 @@
 #define HYDRA_CORE_KNN_H_
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <vector>
 
@@ -10,6 +11,35 @@
 #include "util/check.h"
 
 namespace hydra::core {
+
+/// Thread-safe, monotonically tightening *squared*-distance bound shared by
+/// the shard-parallel traversals of one k-NN query (the sharded index's
+/// cross-shard pruning channel). Starts at +inf; Tighten only ever lowers
+/// it.
+///
+/// Soundness contract: a bound B may only be published when k candidates
+/// with *true* squared distance <= B are known to exist somewhere (KnnHeap
+/// publishes its k-th entry once full, which satisfies this — every heap
+/// entry is either a true distance or an abandoned partial that already
+/// exceeded a bound derived from this one). That keeps the shared bound >=
+/// the final *global* k-th true distance at all times, so pruning any
+/// subtree with lower bound >= B can never drop a true global neighbor.
+class SharedBound {
+ public:
+  double Load() const { return bound_.load(std::memory_order_relaxed); }
+
+  /// Lowers the bound to `dist_sq` if it is tighter (lock-free CAS min).
+  void Tighten(double dist_sq) {
+    double current = bound_.load(std::memory_order_relaxed);
+    while (dist_sq < current &&
+           !bound_.compare_exchange_weak(current, dist_sq,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
+};
 
 /// One answer of a k-NN query. `dist_sq` is *squared* Euclidean distance
 /// (the paper's methods avoid the square root on hot paths; callers take
@@ -44,10 +74,27 @@ class KnnHeap {
   /// existing capacity. Deliberately does not reserve k upfront: the heap
   /// only ever grows to min(k, candidates offered), so a huge k against a
   /// small collection stays cheap (and a reused heap is already warm).
+  /// Detaches any shared bound — a bound belongs to one query; methods
+  /// that Reset mid-query (VA+file's two phases) re-attach afterwards.
   void Reset(size_t k) {
     HYDRA_CHECK(k > 0);
     k_ = k;
     heap_.clear();
+    shared_ = nullptr;
+  }
+
+  /// Attaches the cross-shard bound of the current query (nullptr = none,
+  /// the no-op default for unsharded execution). While attached, Bound()
+  /// returns the tighter of the local k-th distance and the shared bound,
+  /// and every improvement of the local k-th is published to the shared
+  /// bound. Offer semantics (which candidates are kept locally) are
+  /// unchanged — the local heap stays this shard's true top-k, which is
+  /// what makes the global merge exact.
+  void ShareBound(SharedBound* shared) {
+    shared_ = shared;
+    if (shared_ != nullptr && heap_.size() >= k_) {
+      shared_->Tighten(heap_.front().dist_sq);
+    }
   }
 
   /// Offers a candidate with *squared* distance `dist_sq`; keeps it if it
@@ -57,20 +104,27 @@ class KnnHeap {
     if (heap_.size() < k_) {
       heap_.push_back({id, dist_sq});
       std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+      if (shared_ != nullptr && heap_.size() == k_) {
+        shared_->Tighten(heap_.front().dist_sq);
+      }
       return;
     }
     if (dist_sq < heap_.front().dist_sq) {
       std::pop_heap(heap_.begin(), heap_.end(), ByDistance);
       heap_.back() = {id, dist_sq};
       std::push_heap(heap_.begin(), heap_.end(), ByDistance);
+      if (shared_ != nullptr) shared_->Tighten(heap_.front().dist_sq);
     }
   }
 
   /// Current pruning bound: the k-th best *squared* distance (or +inf
-  /// while the heap holds fewer than k candidates).
+  /// while the heap holds fewer than k candidates), tightened by the
+  /// shared cross-shard bound when one is attached.
   double Bound() const {
-    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+    const double local = heap_.size() < k_
+                             ? std::numeric_limits<double>::infinity()
                              : heap_.front().dist_sq;
+    return shared_ != nullptr ? std::min(local, shared_->Load()) : local;
   }
 
   /// Candidates currently held (<= k).
@@ -100,6 +154,7 @@ class KnnHeap {
 
   size_t k_ = 0;
   std::vector<Neighbor> heap_;
+  SharedBound* shared_ = nullptr;  // not owned; null outside sharded fan-out
 };
 
 /// Thread-local reusable KnnHeap, Reset to `k`. Query hot paths use this so

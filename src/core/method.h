@@ -125,6 +125,16 @@ struct MethodTraits {
   /// Human-readable reason when supports_persistence is false (surfaced by
   /// the CLI's exit-1 refusal and by `hydra methods`).
   std::string persistence_reason{};
+  /// True when the method can serve as one shard of a shard::ShardedIndex:
+  /// it builds over any contiguous Dataset slice, addresses series by
+  /// local id, and its k-NN driver honors KnnPlan::shared_bound. True for
+  /// the seven index methods; false for the sequential scans (no index
+  /// partition to build — the batch engine's --threads already
+  /// parallelizes them) and for the sharded container itself (no nesting).
+  bool shardable = false;
+  /// Human-readable reason when shardable is false (surfaced by the CLI's
+  /// --shards refusal and by `hydra methods`).
+  std::string shard_reason{};
 
   /// Whether queries of mode `mode` run natively (kExact always does).
   bool SupportsMode(QualityMode mode) const {
@@ -189,7 +199,9 @@ class SearchMethod {
             .serial_reason = "method has not been audited for concurrent "
                              "query execution",
             .persistence_reason =
-                "method implements no DoSave/DoOpen hooks"};
+                "method implements no DoSave/DoOpen hooks",
+            .shard_reason =
+                "method has not been audited for sharded execution"};
   }
 
   /// Builds the index / pre-organizes the data. For sequential scans this
@@ -304,6 +316,46 @@ class SearchMethod {
 
   /// Range driver hook; `radius` is guaranteed non-negative.
   virtual RangeResult DoSearchRange(SeriesView query, double radius) = 0;
+
+  /// Component bridges for composite methods (shard::ShardedIndex): a
+  /// composite derived from SearchMethod may drive its *components'*
+  /// protected hooks through these statics (C++ grants a derived class
+  /// protected access only through its own type, not through a sibling's).
+  /// The composite owns the contract the public NVI wrappers normally
+  /// enforce: components must be built, plans validated, and specs
+  /// resolved against traits before any bridge call.
+  static KnnResult ComponentSearchKnn(SearchMethod* component,
+                                      SeriesView query, const KnnPlan& plan) {
+    return component->DoSearchKnn(query, plan);
+  }
+  static KnnResult ComponentSearchKnnNg(SearchMethod* component,
+                                        SeriesView query, size_t k) {
+    return component->DoSearchKnnNg(query, k);
+  }
+  static RangeResult ComponentSearchRange(SearchMethod* component,
+                                          SeriesView query, double radius) {
+    return component->DoSearchRange(query, radius);
+  }
+  static void ComponentSave(const SearchMethod& component,
+                            io::IndexWriter* writer) {
+    component.DoSave(writer);
+  }
+  /// Opens a component from the composite's own container (the composite
+  /// already validated the container header; per-component fingerprints
+  /// are the composite's manifest's job). Marks the component built on
+  /// success, exactly like the public Open.
+  static util::Status ComponentOpen(SearchMethod* component,
+                                    io::IndexReader* reader,
+                                    const Dataset& data) {
+    HYDRA_CHECK_MSG(!component->built_,
+                    "ComponentOpen on an already built component");
+    util::Status opened = component->DoOpen(reader, data);
+    if (opened.ok()) {
+      component->built_ = true;
+      component->built_over_ = &data;
+    }
+    return opened;
+  }
 
  private:
   bool built_ = false;

@@ -13,6 +13,8 @@
 
 namespace hydra::core {
 
+class SharedBound;  // see core/knn.h
+
 /// Flavor of a query: k nearest neighbors or a fixed-radius range.
 enum class QueryKind : uint8_t { kKnn, kRange };
 
@@ -103,6 +105,12 @@ struct KnnPlan {
   /// the delta rule is part of the delta-epsilon contract and does not.
   int64_t max_leaves = kUnlimited;
   int64_t max_raw = kUnlimited;
+  /// Cross-shard pruning channel of the sharded index (never set by
+  /// Execute — only shard::ShardedIndex's fan-out fills it, one bound per
+  /// query). Drivers attach it to their answer heap right after
+  /// ScratchKnnHeap via KnnHeap::ShareBound; null (the unsharded case) is
+  /// a no-op, so plan-driven code paths stay bit-identical without it.
+  SharedBound* shared_bound = nullptr;
 
   /// The delta-epsilon stopping rule over `total` units of random access:
   /// n_delta = ceil(delta * total), at least 1 (companion paper's

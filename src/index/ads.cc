@@ -78,6 +78,7 @@ core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap heap(plan.k);
+  heap.ShareBound(plan.shared_bound);
   const core::QueryOrder order(query);
   const size_t segments = options_.segments;
   const auto paa = transform::Paa(query, segments);

@@ -42,7 +42,11 @@ class AdsPlus : public core::SearchMethod {
             .supports_ng = true,
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
-            .supports_persistence = true};
+            .supports_persistence = true,
+            // Sharding is what finally parallelizes ADS+: the fan-out
+            // gives each shard's adaptive tree exactly one thread per
+            // query, so concurrent_queries can stay honestly false.
+            .shardable = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;

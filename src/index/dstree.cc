@@ -386,6 +386,7 @@ core::KnnResult DsTree::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  heap.ShareBound(plan.shared_bound);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 

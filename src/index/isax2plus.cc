@@ -94,6 +94,7 @@ core::KnnResult Isax2Plus::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  heap.ShareBound(plan.shared_bound);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;

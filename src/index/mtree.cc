@@ -298,6 +298,7 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
   int64_t leaves_visited = 0;
   core::KnnHeap& heap =
       core::ScratchKnnHeap(plan.k);  // squared, like all methods
+  heap.ShareBound(plan.shared_bound);
 
   struct Item {
     double dmin;         // lower bound on the distance to any member

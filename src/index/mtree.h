@@ -36,7 +36,8 @@ class MTree : public core::SearchMethod {
             .serial_reason = "",
             .supports_epsilon = true,
             .leaf_visit_budget = true,
-            .supports_persistence = true};
+            .supports_persistence = true,
+            .shardable = true};
   }
 
   /// Legacy entry point (deprecated): epsilon-approximate k-NN

@@ -440,6 +440,7 @@ core::KnnResult RStarTree::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  heap.ShareBound(plan.shared_bound);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   // Per-query raw-file cursor: concurrent queries must not share one.
   io::CountedStorage raw(data_);

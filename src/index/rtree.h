@@ -37,7 +37,8 @@ class RStarTree : public core::SearchMethod {
             .serial_reason = "",
             .supports_epsilon = true,
             .leaf_visit_budget = true,
-            .supports_persistence = true};
+            .supports_persistence = true,
+            .shardable = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;

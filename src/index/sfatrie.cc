@@ -311,6 +311,7 @@ core::KnnResult SfaTrie::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  heap.ShareBound(plan.shared_bound);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);

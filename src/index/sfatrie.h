@@ -41,7 +41,8 @@ class SfaTrie : public core::SearchMethod {
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
             .leaf_visit_budget = true,
-            .supports_persistence = true};
+            .supports_persistence = true,
+            .shardable = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;

@@ -145,6 +145,10 @@ core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,
   // k-th best upper bound, which is extracted before the Reset.
   std::vector<double> lb(count);
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
+  // Phase 1 offers *upper* bounds — real candidates provably within them —
+  // so sharing the cross-shard bound here is sound and lets other shards
+  // prune against this shard's k-th upper bound early.
+  heap.ShareBound(plan.shared_bound);
   for (size_t i = 0; i < count; ++i) {
     const std::span<const uint16_t> cell(cells_.data() + i * dims, dims);
     lb[i] = quantizer_.CellLowerBoundSq(q_dft, cell);
@@ -177,10 +181,17 @@ core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,
   // A budget alone (no epsilon) keeps the exact prune criterion — it must
   // only cap work, never add it — but still needs the exact-values
   // abandon discipline so a truncated answer reports true distances.
+  // A shared cross-shard bound breaks the eviction guarantee the same way
+  // (another shard's bound may prune this shard's local top-k before the
+  // refinement reaches it), so it too forces the exact-values discipline:
+  // every abandoned value then exceeds a bound that never drops below the
+  // final global k-th distance, and the merge rejects it.
   const bool shrunken = plan.bound_scale != 1.0;
-  const bool exact_values =
-      shrunken || plan.max_raw != core::KnnPlan::kUnlimited;
+  const bool exact_values = shrunken ||
+                            plan.max_raw != core::KnnPlan::kUnlimited ||
+                            plan.shared_bound != nullptr;
   heap.Reset(plan.k);
+  heap.ShareBound(plan.shared_bound);  // Reset detached the phase-1 bound
   for (size_t i = 0; i < count; ++i) {
     bound = std::min(bound, heap.Bound());
     if (shrunken && heap.size() >= plan.k) {

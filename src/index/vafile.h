@@ -40,7 +40,8 @@ class VaFile : public core::SearchMethod {
     return {.concurrent_queries = true,
             .serial_reason = "",
             .supports_epsilon = true,
-            .supports_persistence = true};
+            .supports_persistence = true,
+            .shardable = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;

@@ -26,7 +26,10 @@ class MassScan : public core::SearchMethod {
             .serial_reason = "",
             .persistence_reason =
                 "sequential scan: Build only precomputes per-series "
-                "norms, cheaper to redo than to persist"};
+                "norms, cheaper to redo than to persist",
+            .shard_reason =
+                "sequential scan: no index partition to build per shard — "
+                "the batch engine's --threads already parallelizes it"};
   }
 
  protected:

@@ -39,7 +39,10 @@ class Stepwise : public core::SearchMethod {
             .persistence_reason =
                 "sequential scan: the Haar coefficient files are a "
                 "deterministic one-pass transform, cheaper to redo than "
-                "to persist"};
+                "to persist",
+            .shard_reason =
+                "sequential scan: no index partition to build per shard — "
+                "the batch engine's --threads already parallelizes it"};
   }
 
  protected:

@@ -22,7 +22,10 @@ class UcrScan : public core::SearchMethod {
     return {.concurrent_queries = true,
             .serial_reason = "",
             .persistence_reason =
-                "sequential scan: there is no index structure to persist"};
+                "sequential scan: there is no index structure to persist",
+            .shard_reason =
+                "sequential scan: no index partition to build per shard — "
+                "the batch engine's --threads already parallelizes it"};
   }
 
  protected:

@@ -1,0 +1,164 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace hydra::util {
+
+void JsonWriter::BeforeValue() {
+  HYDRA_CHECK_MSG(!root_done_, "value after the root container closed");
+  if (stack_.empty()) return;  // the root value itself
+  if (stack_.back() == Scope::kObject) {
+    HYDRA_CHECK_MSG(key_pending_, "object values need a Key() first");
+    key_pending_ = false;
+  } else {
+    HYDRA_CHECK_MSG(!key_pending_, "Key() inside an array");
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::Key(std::string_view name) {
+  HYDRA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "Key() outside an object");
+  HYDRA_CHECK_MSG(!key_pending_, "two Key() calls without a value");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  Escaped(name);
+  out_ += ':';
+  key_pending_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  HYDRA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "EndObject outside an object");
+  HYDRA_CHECK_MSG(!key_pending_, "EndObject with a dangling Key()");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  HYDRA_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                  "EndArray outside an array");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Escaped(std::string_view s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Escaped(value);
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Infinity
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  }
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  if (stack_.empty()) root_done_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  if (stack_.empty()) root_done_ = true;
+}
+
+const std::string& JsonWriter::str() const {
+  HYDRA_CHECK_MSG(root_done_ && stack_.empty(),
+                  "str() before the root container closed");
+  return out_;
+}
+
+Status JsonWriter::WriteTo(const std::string& path) const {
+  const std::string& doc = str();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("cannot open " + path + " for writing: " +
+                         std::strerror(errno));
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) return Status::Error("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace hydra::util

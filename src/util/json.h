@@ -1,0 +1,71 @@
+// Minimal JSON writer for machine-readable bench output (`--json <path>`).
+// Deliberately tiny: objects, arrays, and scalar values with correct
+// escaping and comma management — enough for flat benchmark records, no
+// parsing, no DOM.
+#ifndef HYDRA_UTIL_JSON_H_
+#define HYDRA_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hydra::util {
+
+/// Streaming JSON serializer. Usage:
+///
+///     JsonWriter json;
+///     json.BeginObject();
+///     json.Key("method"); json.String("DSTree");
+///     json.Key("runs");   json.BeginArray();
+///     json.BeginObject(); ... json.EndObject();
+///     json.EndArray();
+///     json.EndObject();
+///     util::Status s = json.WriteTo(path);
+///
+/// Structural misuse (a value with no pending key inside an object,
+/// unbalanced Begin/End, writing after the root closed) CHECK-aborts:
+/// serialization bugs are programmer errors, matching the IndexWriter
+/// convention. Non-finite doubles serialize as null (JSON has no NaN).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Names the next value (only inside an object, exactly one per value).
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The serialized document; valid once the root container is closed.
+  const std::string& str() const;
+
+  /// Writes the serialized document (plus a trailing newline) to `path`.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  /// Emits the comma/key prelude for the next value.
+  void BeforeValue();
+  void Escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool root_done_ = false;
+};
+
+}  // namespace hydra::util
+
+#endif  // HYDRA_UTIL_JSON_H_

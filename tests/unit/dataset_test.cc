@@ -55,6 +55,55 @@ TEST(ZNormalize, PreservesShape) {
   for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], y[i], 1e-6);
 }
 
+TEST(DatasetSlice, ViewsTheRightSeriesWithoutCopying) {
+  Dataset d("parent", 2);
+  for (int i = 0; i < 6; ++i) {
+    d.Append(std::vector<Value>{static_cast<Value>(i),
+                                static_cast<Value>(10 * i)});
+  }
+  const Dataset s = d.Slice(2, 3);
+  EXPECT_TRUE(s.is_slice());
+  EXPECT_FALSE(d.is_slice());
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.length(), 2u);
+  EXPECT_EQ(s.bytes(), 3 * 2 * sizeof(Value));
+  // Local id 0 of the slice is global id 2 of the parent.
+  EXPECT_EQ(s[0].data(), d[2].data());
+  EXPECT_FLOAT_EQ(s[0][0], 2.0f);
+  EXPECT_FLOAT_EQ(s[2][1], 40.0f);
+  EXPECT_EQ(s.values().size(), 6u);
+  EXPECT_EQ(s.values().data(), d.values().data() + 2 * 2);
+}
+
+TEST(DatasetSlice, FullSliceAndSliceOfSliceCompose) {
+  Dataset d("parent", 1);
+  for (int i = 0; i < 5; ++i) {
+    d.Append(std::vector<Value>{static_cast<Value>(i)});
+  }
+  const Dataset whole = d.Slice(0, 5);
+  EXPECT_EQ(whole.size(), 5u);
+  EXPECT_EQ(whole[4].data(), d[4].data());
+  // Offsets of a nested slice are relative to the slice being cut.
+  const Dataset inner = whole.Slice(1, 3);
+  ASSERT_EQ(inner.size(), 3u);
+  EXPECT_FLOAT_EQ(inner[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(inner[2][0], 3.0f);
+}
+
+TEST(DatasetSliceDeathTest, SlicesAreReadOnlyAndBoundsChecked) {
+  Dataset d("parent", 2);
+  d.Append(std::vector<Value>{1, 2});
+  d.Append(std::vector<Value>{3, 4});
+  Dataset s = d.Slice(0, 2);
+  EXPECT_DEATH(s.Append(std::vector<Value>{5, 6}), "read-only");
+  EXPECT_DEATH(s.AppendUninitialized(), "read-only");
+  EXPECT_DEATH(s.Reserve(4), "read-only");
+  EXPECT_DEATH(s.ZNormalizeAll(), "normalize the parent");
+  EXPECT_DEATH(d.Slice(0, 3), "exceeds");
+  EXPECT_DEATH(d.Slice(3, 1), "exceeds");
+  EXPECT_DEATH(d.Slice(0, 0), "at least one");
+}
+
 TEST(Dataset, ZNormalizeAllNormalizesEverySeries) {
   Dataset d("test", 4);
   d.Append(std::vector<Value>{1, 2, 3, 4});

@@ -1,0 +1,145 @@
+#include "util/json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hydra::util {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("DSTree");
+  json.Key("shards");
+  json.Uint(4);
+  json.Key("seconds");
+  json.Double(1.5);
+  json.Key("ok");
+  json.Bool(true);
+  json.Key("none");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"DSTree\",\"shards\":4,\"seconds\":1.5,"
+            "\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("runs");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("t");
+  json.Int(-3);
+  json.EndObject();
+  json.BeginObject();
+  json.EndObject();
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"runs\":[{\"t\":-3},{},[1,2]]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter json;
+  json.BeginArray();
+  json.String("a\"b\\c\nd\te\r");
+  json.String(std::string("\x01", 1));
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[\"a\\\"b\\\\c\\nd\\te\\r\",\"\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(0.25);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null,0.25]");
+}
+
+TEST(JsonWriter, DoubleRoundTripsFullPrecision) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(0.1);
+  json.EndArray();
+  const std::string doc = json.str();
+  double parsed = 0.0;
+  ASSERT_EQ(std::sscanf(doc.c_str(), "[%lf]", &parsed), 1);
+  EXPECT_EQ(parsed, 0.1);
+}
+
+TEST(JsonWriter, WriteToProducesTheDocumentPlusNewline) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("x");
+  json.Int(1);
+  json.EndObject();
+  const std::string path = ::testing::TempDir() + "/json_writer_test.json";
+  ASSERT_TRUE(json.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "{\"x\":1}\n");
+}
+
+TEST(JsonWriter, WriteToUnwritablePathFailsCleanly) {
+  JsonWriter json;
+  json.BeginObject();
+  json.EndObject();
+  const Status s = json.WriteTo("/nonexistent-dir/x/y.json");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cannot open"), std::string::npos);
+}
+
+TEST(JsonWriterDeathTest, StructuralMisuseAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginObject();
+        json.Int(1);  // no Key()
+      },
+      "Key");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginArray();
+        json.Key("x");  // Key inside an array
+      },
+      "outside an object");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginObject();
+        json.EndArray();  // mismatched close
+      },
+      "outside an array");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.Int(1);     // root value closes the document...
+        json.Int(2);     // ...a second root is misuse
+      },
+      "root");
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginObject();
+        const std::string& s = json.str();  // root still open
+        (void)s;
+      },
+      "root");
+}
+
+}  // namespace
+}  // namespace hydra::util

@@ -185,4 +185,65 @@ TEST(KnnHeap, ScratchKnnHeapIsResetPerCall) {
   EXPECT_EQ(b.size(), 0u);  // ...re-armed empty by the second call
 }
 
+TEST(SharedBound, TightenIsMonotoneMin) {
+  hydra::core::SharedBound bound;
+  EXPECT_TRUE(std::isinf(bound.Load()));
+  bound.Tighten(9.0);
+  EXPECT_EQ(bound.Load(), 9.0);
+  bound.Tighten(25.0);  // looser: ignored
+  EXPECT_EQ(bound.Load(), 9.0);
+  bound.Tighten(4.0);
+  EXPECT_EQ(bound.Load(), 4.0);
+}
+
+TEST(KnnHeap, SharedBoundTightensBoundAndPublishesKth) {
+  hydra::core::SharedBound shared;
+  hydra::core::KnnHeap heap(2);
+  heap.ShareBound(&shared);
+  // Under-filled: nothing published, Bound() still reflects the shared
+  // side only (infinite here).
+  heap.Offer(0, 4.0);
+  EXPECT_TRUE(std::isinf(shared.Load()));
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  // Full: the k-th (= worst kept) distance is published.
+  heap.Offer(1, 9.0);
+  EXPECT_EQ(shared.Load(), 9.0);
+  EXPECT_EQ(heap.Bound(), 9.0);
+  // Improvements keep publishing.
+  heap.Offer(2, 1.0);
+  EXPECT_EQ(shared.Load(), 4.0);
+  // A tighter *shared* value (another shard's k-th) tightens Bound()
+  // without touching the local heap contents.
+  shared.Tighten(2.0);
+  EXPECT_EQ(heap.Bound(), 2.0);
+  EXPECT_EQ(heap.size(), 2u);
+  std::vector<hydra::core::Neighbor> out;
+  heap.ExtractSortedTo(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(out[1].id, 0u);
+}
+
+TEST(KnnHeap, AttachingWhenAlreadyFullPublishesImmediately) {
+  hydra::core::SharedBound shared;
+  hydra::core::KnnHeap heap(1);
+  heap.Offer(3, 7.0);
+  heap.ShareBound(&shared);
+  EXPECT_EQ(shared.Load(), 7.0);
+}
+
+TEST(KnnHeap, ResetDetachesTheSharedBound) {
+  hydra::core::SharedBound shared;
+  shared.Tighten(1.0);
+  hydra::core::KnnHeap heap(1);
+  heap.ShareBound(&shared);
+  EXPECT_EQ(heap.Bound(), 1.0);
+  // A reused heap must not leak the previous query's bound into the next.
+  heap.Reset(1);
+  EXPECT_TRUE(std::isinf(heap.Bound()));
+  heap.Offer(0, 50.0);
+  EXPECT_EQ(heap.Bound(), 50.0);
+  EXPECT_EQ(shared.Load(), 1.0);  // detached: no publish either
+}
+
 }  // namespace hydra::core

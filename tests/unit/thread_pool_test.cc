@@ -4,6 +4,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -69,6 +70,66 @@ TEST(ThreadPoolTest, ParallelForIsReusableAcrossCalls) {
     pool.ParallelFor(0, 50, [&](size_t) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 500u);
+}
+
+// The shard fan-out leans on these edge shapes: a 1-shard container is a
+// single-item ParallelFor, a many-shard container on a small pool is
+// more-tasks-than-workers, and the merge reads the slots non-atomically
+// right after ParallelFor returns.
+TEST(ThreadPoolTest, ParallelForSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> visits{0};
+  size_t seen = 999;
+  pool.ParallelFor(3, 4, [&](size_t i) {
+    seen = i;
+    visits.fetch_add(1);
+  });
+  EXPECT_EQ(visits.load(), 1);
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr size_t kTasks = 10000;
+  std::vector<std::atomic<int>> visits(kTasks);
+  pool.ParallelFor(0, kTasks, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWritesAreVisibleAfterReturn) {
+  // Completion ordering: ParallelFor must not return before every index
+  // ran, and its return must happen-after every worker write — the merge
+  // phase reads these slots without further synchronization. Plain
+  // (non-atomic) writes make TSan the judge of the happens-before edge.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<size_t> out(257, 0);
+    pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = i + 1; });
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i + 1) << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFromConcurrentCallers) {
+  // Two non-worker threads may drive the same pool at once (concurrent
+  // outer queries each fanning out across shards); each call's indices
+  // must complete exactly once, independently.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> a(500);
+  std::vector<std::atomic<int>> b(500);
+  std::thread caller_a([&] {
+    pool.ParallelFor(0, a.size(), [&](size_t i) { a[i].fetch_add(1); });
+  });
+  std::thread caller_b([&] {
+    pool.ParallelFor(0, b.size(), [&](size_t i) { b[i].fetch_add(1); });
+  });
+  caller_a.join();
+  caller_b.join();
+  for (auto& v : a) EXPECT_EQ(v.load(), 1);
+  for (auto& v : b) EXPECT_EQ(v.load(), 1);
 }
 
 TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {

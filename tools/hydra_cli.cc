@@ -23,6 +23,14 @@
 // queries of one batch run concurrently when the method supports it
 // (results are identical to the serial run; see docs/ARCHITECTURE.md).
 //
+// `build`, `query`, and `range` accept --shards N: the collection is
+// partitioned into N contiguous shards, each carrying a full index of the
+// method; builds and queries fan out across shards and answers merge back
+// to global ids, identical to the unsharded method. With --shards,
+// --threads sets the fan-out width (the batch runs serially — the
+// parallelism lives inside each query). Unshardable methods (the scans)
+// are refused with the traits-derived reason.
+//
 // `query` additionally accepts the QuerySpec flags:
 //   --mode exact|ng|epsilon|delta-epsilon   quality guarantee requested
 //   --epsilon X      relative error bound (epsilon / delta-epsilon modes)
@@ -31,12 +39,14 @@
 //   --max-raw N      budget: stop after N raw series examinations
 // A mode the chosen method does not advertise is rejected up front with
 // the traits-derived reason — never silently answered exactly.
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -49,6 +59,7 @@
 #include "gen/workload.h"
 #include "io/disk_model.h"
 #include "io/series_file.h"
+#include "shard/sharded_index.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -59,16 +70,28 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  hydra gen <family> <count> <length> <seed> <out.bin>\n"
-               "  hydra build <data.bin> <method> <index-dir>\n"
+               "  hydra build <data.bin> <method> <index-dir> [--shards N] "
+               "[--threads N]\n"
                "  hydra query <data.bin> <method> <k> [queries=10] "
                "[--threads N]\n"
-               "              [--index <dir>] "
+               "              [--index <dir>] [--shards N] "
                "[--mode exact|ng|epsilon|delta-epsilon] [--epsilon X]\n"
                "              [--delta X] [--max-leaves N] [--max-raw N]\n"
                "  hydra range <data.bin> <method> <radius> [queries=10] "
-               "[--index <dir>]\n"
+               "[--index <dir>] [--shards N] [--threads N]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
-               "  hydra methods\n");
+               "  hydra methods\n"
+               "\n"
+               "--shards N partitions the collection into N contiguous "
+               "shards built and\n"
+               "searched independently (answers are identical to the "
+               "unsharded method);\n"
+               "with --shards, --threads sets the per-query fan-out "
+               "workers instead of\n"
+               "the batch concurrency. A sharded index persists as one "
+               "container whose\n"
+               "shard count is fixed at build time; open it with the same "
+               "--shards flag.\n");
   return 2;
 }
 
@@ -271,6 +294,45 @@ bool BuildQuerySpec(const QueryFlags& flags, const core::MethodTraits& traits,
   return true;
 }
 
+/// Extracts a `--shards N` option (anywhere in argv) into `*shards` and
+/// removes it from `*args`. `*shards` stays 0 (= unsharded) when the flag
+/// is absent; returns false (after printing an error) on a missing,
+/// zero, or absurd value.
+bool ExtractShards(std::vector<char*>* args, uint64_t* shards) {
+  *shards = 0;
+  const char* value = nullptr;
+  if (!ExtractOption(args, "--shards", &value)) return false;
+  if (value == nullptr) return true;
+  constexpr uint64_t kMaxShards = 1024;
+  if (!ParseUint(value, shards) || *shards == 0 || *shards > kMaxShards) {
+    std::fprintf(stderr,
+                 "error: --shards must be an integer in [1, %llu], got "
+                 "'%s'\n",
+                 static_cast<unsigned long long>(kMaxShards), value);
+    return false;
+  }
+  return true;
+}
+
+/// Creates the method the query-answering commands run: the plain method,
+/// or a sharded container over it when `shards` > 0 (in which case
+/// `threads` feeds the container's fan-out pool). Prints a traits-derived
+/// refusal and returns null for an unshardable method.
+std::unique_ptr<core::SearchMethod> MakeMethod(const std::string& name,
+                                               uint64_t shards,
+                                               uint64_t threads) {
+  auto method = bench::CreateMethod(name);
+  if (shards == 0) return method;
+  const core::MethodTraits traits = method->traits();
+  if (!traits.shardable) {
+    std::fprintf(stderr, "error: %s does not support --shards (%s)\n",
+                 name.c_str(), traits.shard_reason.c_str());
+    return nullptr;
+  }
+  return bench::CreateShardedMethod(name, static_cast<size_t>(shards),
+                                    static_cast<size_t>(threads));
+}
+
 /// Extracts a `--threads N` option (anywhere in argv) into `*threads` and
 /// removes it from `*args`. Returns false (after printing an error) on a
 /// missing or non-positive value.
@@ -363,7 +425,20 @@ bool BuildOrOpen(core::SearchMethod* method, const core::Dataset& data,
   return true;
 }
 
-int CmdQuery(int argc, char** argv, uint64_t threads,
+/// Prints the sharded-layout line of a query-answering command (the shard
+/// count is a property of the built/opened container, which may differ
+/// from the requested flag after Open — the manifest wins). The fan-out
+/// width reported is the *effective* one: never more workers than shards.
+void PrintShardLayout(const core::SearchMethod& method, uint64_t threads) {
+  const auto* sharded = dynamic_cast<const shard::ShardedIndex*>(&method);
+  if (sharded == nullptr) return;
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(threads), sharded->shard_count());
+  std::printf("sharded over %zu shards (fan-out threads: %zu)\n",
+              sharded->shard_count(), workers);
+}
+
+int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
              const QueryFlags& flags, const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
@@ -378,7 +453,8 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
   if (argc > 5 && !ParseUint(argv[5], &queries)) {
     return BadNumber("queries", argv[5]);
   }
-  auto method = bench::CreateMethod(argv[3]);
+  auto method = MakeMethod(argv[3], shards, threads);
+  if (method == nullptr) return 1;
   const core::MethodTraits traits = method->traits();
   core::QuerySpec spec = core::QuerySpec::Knn(k);
   if (!BuildQuerySpec(flags, traits, method->name(), &spec)) {
@@ -399,10 +475,15 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
   const core::Dataset data = std::move(loaded).value();
 
   if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
+  if (shards > 0) PrintShardLayout(*method, threads);
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
+  // With --shards, the parallelism lives inside each query (the fan-out
+  // pool); the batch itself runs serially.
+  const size_t batch_threads =
+      shards > 0 ? 1 : static_cast<size_t>(threads);
   util::WallTimer timer;
-  const core::BatchKnnResult batch = bench::SearchKnnBatch(
-      method.get(), probe, spec, static_cast<size_t>(threads));
+  const core::BatchKnnResult batch =
+      bench::SearchKnnBatch(method.get(), probe, spec, batch_threads);
   const double wall = timer.Seconds();
   for (size_t q = 0; q < batch.queries.size(); ++q) {
     const core::QueryResult& r = batch.queries[q];
@@ -410,24 +491,27 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
     for (const auto& n : r.neighbors) {
       std::printf("(%u, %.3f) ", n.id, std::sqrt(n.dist_sq));
     }
-    std::printf("[examined %lld, seeks %lld]\n",
+    // The delivered guarantee and budget outcome are part of the answer:
+    // without them an approximate or truncated run is indistinguishable
+    // from an exact one in terminal output.
+    std::printf("[examined %lld, seeks %lld, mode %s%s]\n",
                 static_cast<long long>(r.stats.raw_series_examined),
-                static_cast<long long>(r.stats.random_seeks));
+                static_cast<long long>(r.stats.random_seeks),
+                core::QualityModeName(r.delivered()),
+                r.budget_fired() ? ", budget exhausted" : "");
   }
-  if (flags.any()) {
-    // Honest delivery report: the guarantee that held for every query of
-    // the batch (budgets downgrade it to "ng" = no guarantee).
-    size_t budget_fired = 0;
-    for (const core::QueryResult& r : batch.queries) {
-      if (r.budget_fired()) ++budget_fired;
-    }
-    std::printf("mode %s requested: weakest delivered %s; budget fired on "
-                "%zu/%zu queries\n",
-                core::QualityModeName(spec.mode),
-                core::QualityModeName(batch.total.answer_mode_delivered),
-                budget_fired, batch.queries.size());
+  // Honest delivery report: the guarantee that held for every query of
+  // the batch (budgets downgrade it to "ng" = no guarantee).
+  size_t budget_fired = 0;
+  for (const core::QueryResult& r : batch.queries) {
+    if (r.budget_fired()) ++budget_fired;
   }
-  if (threads > 1) {
+  std::printf("mode %s requested: weakest delivered %s; budget fired on "
+              "%zu/%zu queries\n",
+              core::QualityModeName(spec.mode),
+              core::QualityModeName(batch.total.answer_mode_delivered),
+              budget_fired, batch.queries.size());
+  if (threads > 1 && shards == 0) {
     if (!batch.serial_reason.empty()) {
       std::printf("ran serially: %s\n", batch.serial_reason.c_str());
     } else {
@@ -439,7 +523,8 @@ int CmdQuery(int argc, char** argv, uint64_t threads,
   return 0;
 }
 
-int CmdRange(int argc, char** argv, const char* index_dir) {
+int CmdRange(int argc, char** argv, uint64_t threads, uint64_t shards,
+             const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -454,7 +539,8 @@ int CmdRange(int argc, char** argv, const char* index_dir) {
   if (argc > 5 && !ParseUint(argv[5], &queries)) {
     return BadNumber("queries", argv[5]);
   }
-  auto method = bench::CreateMethod(argv[3]);
+  auto method = MakeMethod(argv[3], shards, threads);
+  if (method == nullptr) return 1;
   const core::MethodTraits traits = method->traits();
   if (index_dir != nullptr && !traits.supports_persistence) {
     std::fprintf(stderr, "error: %s does not support --index (%s)\n",
@@ -469,6 +555,7 @@ int CmdRange(int argc, char** argv, const char* index_dir) {
   const core::Dataset data = std::move(loaded).value();
 
   if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
+  if (shards > 0) PrintShardLayout(*method, threads);
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
   for (size_t q = 0; q < probe.queries.size(); ++q) {
     const core::QueryResult r =
@@ -480,10 +567,11 @@ int CmdRange(int argc, char** argv, const char* index_dir) {
   return 0;
 }
 
-int CmdBuild(int argc, char** argv) {
+int CmdBuild(int argc, char** argv, uint64_t threads, uint64_t shards) {
   if (argc != 5) return Usage();
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
-  auto method = bench::CreateMethod(argv[3]);
+  auto method = MakeMethod(argv[3], shards, threads);
+  if (method == nullptr) return 1;
   const core::MethodTraits traits = method->traits();
   // Traits-derived refusal before any expensive work: a method without
   // DoSave/DoOpen hooks can never produce an index directory.
@@ -502,6 +590,7 @@ int CmdBuild(int argc, char** argv) {
   const core::BuildStats build = method->Build(data);
   std::printf("built %s over %zu series in %.2fs CPU\n",
               method->name().c_str(), data.size(), build.cpu_seconds);
+  if (shards > 0) PrintShardLayout(*method, threads);
   const util::Result<int64_t> saved = method->Save(argv[4]);
   if (!saved.ok()) {
     std::fprintf(stderr, "error: %s\n", saved.status().message().c_str());
@@ -553,7 +642,8 @@ int CmdMethods() {
   // The full traits matrix: quality modes, batch concurrency, and index
   // persistence, each derived from the method's own traits() so this
   // listing can never drift from what Execute/Save/Open actually accept.
-  util::Table table({"method", "modes", "concurrent", "persistent"});
+  util::Table table(
+      {"method", "modes", "concurrent", "persistent", "shardable"});
   for (const std::string& name : bench::AllMethodNames()) {
     const core::MethodTraits traits = bench::CreateMethod(name)->traits();
     std::string modes = "exact";
@@ -561,7 +651,8 @@ int CmdMethods() {
     if (traits.supports_epsilon) modes += ",epsilon";
     if (traits.supports_delta_epsilon) modes += ",delta-epsilon";
     table.AddRow({name, modes, traits.concurrent_queries ? "yes" : "no",
-                  traits.supports_persistence ? "yes" : "no"});
+                  traits.supports_persistence ? "yes" : "no",
+                  traits.shardable ? "yes" : "no"});
   }
   table.Print("method traits");
   return 0;
@@ -574,6 +665,8 @@ int Main(int argc, char** argv) {
   const size_t before = args.size();
   if (!ExtractThreads(&args, &threads)) return 1;
   const bool had_threads = args.size() != before;
+  uint64_t shards = 0;
+  if (!ExtractShards(&args, &shards)) return 1;
   QueryFlags flags;
   const size_t before_spec = args.size();
   if (!ExtractOption(&args, "--mode", &flags.mode) ||
@@ -589,12 +682,21 @@ int Main(int argc, char** argv) {
   if (args.size() < 2) return Usage();  // argv was only flags
   const int n = static_cast<int>(args.size());
   const std::string cmd = args[1];
-  // Only the batch-capable commands accept --threads; stripping it
-  // silently elsewhere would let users believe e.g. a range query ran
-  // concurrently.
-  if (had_threads && cmd != "query" && cmd != "compare") {
-    std::fprintf(stderr, "error: --threads is only supported by "
-                         "'query' and 'compare'\n");
+  // Only the sharding-capable commands accept --shards; stripping it
+  // silently elsewhere would let users believe e.g. a compare ran sharded.
+  if (shards > 0 && cmd != "build" && cmd != "query" && cmd != "range") {
+    std::fprintf(stderr, "error: --shards is only supported by 'build', "
+                         "'query', and 'range'\n");
+    return 1;
+  }
+  // --threads is the batch concurrency on query/compare, and the sharded
+  // fan-out width when --shards is present (which also makes it
+  // meaningful on build/range); anywhere else, stripping it silently
+  // would let users believe a serial run was concurrent.
+  if (had_threads && cmd != "query" && cmd != "compare" && shards == 0) {
+    std::fprintf(stderr, "error: --threads is only supported by 'query' "
+                         "and 'compare' (or any sharded command with "
+                         "--shards)\n");
     return 1;
   }
   // The QuerySpec flags only shape k-NN queries; swallowing them
@@ -612,11 +714,13 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (cmd == "gen") return CmdGen(n, args.data());
-  if (cmd == "build") return CmdBuild(n, args.data());
+  if (cmd == "build") return CmdBuild(n, args.data(), threads, shards);
   if (cmd == "query") {
-    return CmdQuery(n, args.data(), threads, flags, index_dir);
+    return CmdQuery(n, args.data(), threads, shards, flags, index_dir);
   }
-  if (cmd == "range") return CmdRange(n, args.data(), index_dir);
+  if (cmd == "range") {
+    return CmdRange(n, args.data(), threads, shards, index_dir);
+  }
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
   return Usage();

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Shard smoke: for every shardable method, a sharded run must print exactly
+# the same answers as the unsharded method — freshly built, and again after
+# a save → open round-trip of the sharded container. Unshardable methods
+# must refuse --shards with exit 1 and a reason. (Bit-identity assumes no
+# exact ties at the k-th distance — measure-zero on this continuous
+# generated data; see docs/ARCHITECTURE.md, "Exactness and the shared
+# bound".)
+set -euo pipefail
+HYDRA="${1:?usage: shard_smoke.sh <path-to-hydra-binary>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$HYDRA" gen synth 2000 64 7 "$TMP/data.bin" > /dev/null
+
+# Answer lines only: the trailing "[examined ..., seeks ...]" ledger is
+# per-traversal work, which legitimately differs between an unsharded
+# traversal and N per-shard ones — the *answers* must not.
+answers() { grep '^query' | sed 's/ \[.*\]$//'; }
+
+for m in "ADS+" "DSTree" "iSAX2+" "M-tree" "R*-tree" "SFA" "VA+file"; do
+  # Unsharded reference answers (k-NN and range).
+  "$HYDRA" query "$TMP/data.bin" "$m" 5 4 | answers > "$TMP/ref_knn.txt"
+  "$HYDRA" range "$TMP/data.bin" "$m" 8 4 | answers > "$TMP/ref_range.txt"
+
+  # Sharded, built fresh: 3 shards over 2 fan-out threads.
+  "$HYDRA" query "$TMP/data.bin" "$m" 5 4 --shards 3 --threads 2 \
+    | answers > "$TMP/sharded_knn.txt"
+  diff "$TMP/ref_knn.txt" "$TMP/sharded_knn.txt" \
+    || { echo "FAIL($m): sharded k-NN differs from unsharded"; exit 1; }
+  "$HYDRA" range "$TMP/data.bin" "$m" 8 4 --shards 3 --threads 2 \
+    | answers > "$TMP/sharded_range.txt"
+  diff "$TMP/ref_range.txt" "$TMP/sharded_range.txt" \
+    || { echo "FAIL($m): sharded range differs from unsharded"; exit 1; }
+
+  # Sharded container lifecycle: build → save → open must also match, and
+  # the opened run must report the build as skipped.
+  "$HYDRA" build "$TMP/data.bin" "$m" "$TMP/idx" --shards 3 --threads 2 \
+    > /dev/null
+  "$HYDRA" query "$TMP/data.bin" "$m" 5 4 --shards 3 --index "$TMP/idx" \
+    > "$TMP/opened.txt"
+  grep -q "build skipped" "$TMP/opened.txt" \
+    || { echo "FAIL($m): opened run did not skip the build"; exit 1; }
+  grep -q "sharded over 3 shards" "$TMP/opened.txt" \
+    || { echo "FAIL($m): opened run lost the shard layout"; exit 1; }
+  answers < "$TMP/opened.txt" > "$TMP/opened_knn.txt"
+  diff "$TMP/ref_knn.txt" "$TMP/opened_knn.txt" \
+    || { echo "FAIL($m): opened sharded index answered differently"; exit 1; }
+  echo "OK $m"
+  rm -rf "$TMP/idx"
+done
+
+# The scans refuse --shards, with exit 1 and a reason — never a crash.
+for m in "UCR-Suite" "MASS" "Stepwise"; do
+  if "$HYDRA" query "$TMP/data.bin" "$m" 5 2 --shards 2 2> "$TMP/err.txt"
+  then
+    echo "FAIL($m): --shards on a scan should exit 1"; exit 1
+  fi
+  grep -q "does not support --shards" "$TMP/err.txt" \
+    || { echo "FAIL($m): --shards refusal lacks a reason"; exit 1; }
+done
+
+# A sharded container opened without --shards fails with a clean error
+# naming the container, not a crash.
+"$HYDRA" build "$TMP/data.bin" DSTree "$TMP/idx" --shards 2 > /dev/null
+if "$HYDRA" query "$TMP/data.bin" DSTree 5 2 --index "$TMP/idx" \
+    2> "$TMP/err.txt"; then
+  echo "FAIL: opening a sharded container unsharded should exit 1"; exit 1
+fi
+grep -q "Sharded\[DSTree\]" "$TMP/err.txt" \
+  || { echo "FAIL: container mismatch error lacks the container name"; exit 1; }
+
+echo "shard smoke OK"
