@@ -111,6 +111,10 @@ std::vector<std::string> ShardableNames() {
   return NamesSupporting(&core::MethodTraits::shardable);
 }
 
+std::vector<std::string> IntraQueryCapableNames() {
+  return NamesSupporting(&core::MethodTraits::intra_query_parallel);
+}
+
 std::unique_ptr<core::SearchMethod> CreateShardedMethod(
     const std::string& name, size_t shards, size_t threads,
     size_t leaf_capacity) {

@@ -47,6 +47,11 @@ std::vector<std::string> PersistentCapableNames();
 /// methods; the sequential scans have no index partition to build).
 std::vector<std::string> ShardableNames();
 
+/// The methods whose traits advertise intra-query parallelism: their
+/// traversal runs on the shared engine and honors --query-threads (the
+/// five tree methods; scans have no traversal frontier to share).
+std::vector<std::string> IntraQueryCapableNames();
+
 /// Creates a sharded container over `shards` per-shard instances of the
 /// named method (which must be shardable — the CLI refuses others up
 /// front), fanning builds and queries out over `threads` workers (0 =

@@ -16,6 +16,8 @@ namespace {
 /// must be validated before a spec is built; reaching these checks is a
 /// programmer error, consistent with the repo's CHECK conventions.
 void CheckSpec(const QuerySpec& spec) {
+  HYDRA_CHECK_MSG(spec.query_threads >= 1,
+                  "query_threads must be >= 1 (1 = serial traversal)");
   if (spec.kind == QueryKind::kRange) {
     HYDRA_CHECK_MSG(spec.radius >= 0.0, "range radius must be non-negative");
     HYDRA_CHECK_MSG(spec.mode == QualityMode::kExact,
@@ -155,7 +157,14 @@ util::Result<BuildStats> SearchMethod::Open(const std::string& dir,
 QueryResult SearchMethod::Execute(SeriesView query, const QuerySpec& spec) {
   CheckSpec(spec);
   if (spec.kind == QueryKind::kRange) {
-    RangeResult range = DoSearchRange(query, spec.radius);
+    RangePlan plan;
+    plan.radius = spec.radius;
+    // Range answers are visit-order independent under the fixed r^2
+    // bound, so any width is safe — but only engine-backed drivers honor
+    // it; everywhere else the request quietly runs serially (the CLI
+    // refuses --query-threads on such methods up front).
+    if (traits().intra_query_parallel) plan.query_threads = spec.query_threads;
+    RangeResult range = DoSearchRange(query, plan);
     QueryResult result{std::move(range.matches), range.stats};
     result.stats.answer_mode_delivered = QualityMode::kExact;
     return result;
@@ -185,6 +194,14 @@ QueryResult SearchMethod::Execute(SeriesView query, const QuerySpec& spec) {
     if (effective == QualityMode::kDeltaEpsilon) plan.delta = spec.delta;
     if (spec.max_visited_leaves > 0) plan.max_leaves = spec.max_visited_leaves;
     if (spec.max_raw_series > 0) plan.max_raw = spec.max_raw_series;
+    // Intra-query parallelism is reserved for "pure exact" plans: epsilon
+    // shrink, delta caps, and explicit budgets make the answer depend on
+    // the visit order, so those plans keep the serial traversal and stay
+    // bit-identical at any requested width.
+    if (method_traits.intra_query_parallel &&
+        effective == QualityMode::kExact && !spec.has_budget()) {
+      plan.query_threads = spec.query_threads;
+    }
     result = DoSearchKnn(query, plan);
   }
   // A truncated traversal keeps no error bound: budgets downgrade the

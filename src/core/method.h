@@ -135,6 +135,19 @@ struct MethodTraits {
   /// Human-readable reason when shardable is false (surfaced by the CLI's
   /// --shards refusal and by `hydra methods`).
   std::string shard_reason{};
+  /// True when the method's traversal drivers run on the shared engine
+  /// (core::BestFirstTraverse / ParallelScan) and honor
+  /// KnnPlan::query_threads / RangePlan::query_threads: N workers drain
+  /// one query's candidate frontier cooperatively, and exact k-NN and
+  /// range answers stay bit-identical to the serial loop at any worker
+  /// count. True for the five tree drivers (ADS+, DSTree, iSAX2+, M-tree,
+  /// SFA); false for the sequential scans (a flat scan has no traversal
+  /// frontier to share — batch --threads already parallelizes them) and
+  /// for the methods not yet restructured onto the engine.
+  bool intra_query_parallel = false;
+  /// Human-readable reason when intra_query_parallel is false (surfaced by
+  /// the CLI's --query-threads refusal and by `hydra methods`).
+  std::string intra_query_reason{};
 
   /// Whether queries of mode `mode` run natively (kExact always does).
   bool SupportsMode(QualityMode mode) const {
@@ -201,7 +214,10 @@ class SearchMethod {
             .persistence_reason =
                 "method implements no DoSave/DoOpen hooks",
             .shard_reason =
-                "method has not been audited for sharded execution"};
+                "method has not been audited for sharded execution",
+            .intra_query_reason =
+                "method has not been restructured onto the shared "
+                "traversal engine"};
   }
 
   /// Builds the index / pre-organizes the data. For sequential scans this
@@ -314,8 +330,12 @@ class SearchMethod {
   /// CHECK-aborts so ng-capable methods must override it.
   virtual KnnResult DoSearchKnnNg(SeriesView query, size_t k);
 
-  /// Range driver hook; `radius` is guaranteed non-negative.
-  virtual RangeResult DoSearchRange(SeriesView query, double radius) = 0;
+  /// Range driver hook. The plan carries the (guaranteed non-negative)
+  /// radius plus the traversal width; query_threads is only ever > 1 for
+  /// methods advertising intra_query_parallel, and a width-1 plan must be
+  /// bit-identical to the pre-plan code paths.
+  virtual RangeResult DoSearchRange(SeriesView query,
+                                    const RangePlan& plan) = 0;
 
   /// Component bridges for composite methods (shard::ShardedIndex): a
   /// composite derived from SearchMethod may drive its *components'*
@@ -333,8 +353,9 @@ class SearchMethod {
     return component->DoSearchKnnNg(query, k);
   }
   static RangeResult ComponentSearchRange(SearchMethod* component,
-                                          SeriesView query, double radius) {
-    return component->DoSearchRange(query, radius);
+                                          SeriesView query,
+                                          const RangePlan& plan) {
+    return component->DoSearchRange(query, plan);
   }
   static void ComponentSave(const SearchMethod& component,
                             io::IndexWriter* writer) {

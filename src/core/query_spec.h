@@ -51,6 +51,14 @@ struct QuerySpec {
   /// Budget: raw series examinations allowed before the traversal stops
   /// (0 = no cap).
   int64_t max_raw_series = 0;
+  /// Workers cooperating on this one query's traversal (>= 1; 1 = the
+  /// classic serial loop). Only methods advertising
+  /// MethodTraits::intra_query_parallel honor more than one, and only for
+  /// traversals whose answers are visit-order independent: exact
+  /// unbudgeted k-NN plans and range queries. Order-dependent disciplines
+  /// (epsilon shrink, delta caps, explicit budgets) always run serially so
+  /// their answers stay bit-identical to a query-threads=1 run.
+  size_t query_threads = 1;
 
   static QuerySpec Knn(size_t k) {
     return {.kind = QueryKind::kKnn, .k = k};
@@ -111,6 +119,14 @@ struct KnnPlan {
   /// ScratchKnnHeap via KnnHeap::ShareBound; null (the unsharded case) is
   /// a no-op, so plan-driven code paths stay bit-identical without it.
   SharedBound* shared_bound = nullptr;
+  /// Workers cooperating on this traversal through core::BestFirstTraverse
+  /// (see core/traversal.h). Execute sets it above 1 only on "pure exact"
+  /// plans (bound_scale == 1, delta == 1, no explicit budgets) of methods
+  /// whose traits advertise intra_query_parallel, because only
+  /// order-independent answers survive a cooperative traversal
+  /// bit-identically. Composes with shared_bound: under a sharded fan-out
+  /// every shard's workers attach to the one cross-shard bound.
+  size_t query_threads = 1;
 
   /// The delta-epsilon stopping rule over `total` units of random access:
   /// n_delta = ceil(delta * total), at least 1 (companion paper's
@@ -152,6 +168,20 @@ struct KnnPlan {
     stats->budget_exhausted = true;
     return true;
   }
+};
+
+/// Derived per-query execution plan of the range drivers, the r-range
+/// counterpart of KnnPlan. Range queries are exact-only and unbudgeted
+/// (CheckSpec enforces it), so the plan is just the radius plus the
+/// traversal width; answers are visit-order independent under the fixed
+/// r^2 bound, which is why query_threads needs no pure-exact gate here.
+struct RangePlan {
+  /// Range radius in *unsquared* distance units (>= 0; drivers square it).
+  double radius = 0.0;
+  /// Workers cooperating on the traversal (>= 1); see
+  /// KnnPlan::query_threads. Only set above 1 for methods advertising
+  /// intra_query_parallel.
+  size_t query_threads = 1;
 };
 
 }  // namespace hydra::core

@@ -1,0 +1,304 @@
+// Shared concurrent best-first traversal engine: the one candidate-queue
+// loop behind every tree driver's k-NN and range search, with optional
+// intra-query parallelism (KnnPlan::query_threads) in the style of the
+// parallel-indexing literature (MESSI/ParIS+ work queues): N workers drain
+// a lock-sharded priority queue cooperatively, pruning against worker-local
+// answer heaps that publish through one lock-free SharedBound.
+//
+// Determinism contract: the serial path (workers == 1) reproduces the
+// classic single-queue best-first loop bit for bit — answers AND work
+// counters. The parallel path guarantees bit-identical *answers* for exact
+// k-NN and range queries at any worker count (worker-local heaps are merged
+// by (dist_sq, id), and every worker's pruning bound is always >= the final
+// k-th true distance — the SharedBound soundness contract — so no true
+// neighbor is ever pruned or early-abandoned away); per-worker work
+// counters vary with bound-arrival timing, like the sharded fan-out.
+// Order-dependent disciplines (epsilon shrink, delta leaf caps, explicit
+// budgets) are visit-order-sensitive, so SearchMethod::Execute only ever
+// sets query_threads > 1 on pure-exact unbudgeted plans; the engine still
+// honors every KnnPlan knob on the serial path.
+#ifndef HYDRA_CORE_TRAVERSAL_H_
+#define HYDRA_CORE_TRAVERSAL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/knn.h"
+#include "core/query_spec.h"
+#include "core/search_stats.h"
+#include "util/check.h"
+
+namespace hydra::core {
+
+/// Drains a best-first candidate queue with `workers` cooperating workers.
+///
+/// `Item` is the driver's frontier entry (a lower bound plus a node
+/// pointer) whose operator< orders the priority queue exactly like the
+/// drivers' private loops did (greater-lb-first, i.e. a min-heap on the
+/// bound). `pruned(item, w)` is the driver's stop test — "this lower bound
+/// has reached worker w's current pruning bound" plus any stop/budget
+/// flags; `expand(item, w, push)` visits the item (leaf scan or child
+/// expansion), pushing new frontier entries through `push`.
+///
+/// Serial path (workers <= 1): seeds are pushed in order into one
+/// std::priority_queue and the classic loop runs on the calling thread —
+/// pop, break when pruned, expand — bit-identical to the drivers' old
+/// private loops. A pruned pop ends the whole traversal (every remaining
+/// item's bound is at least as large).
+///
+/// Parallel path: one mutex-guarded priority queue per worker, seeds dealt
+/// round-robin, workers pop their own queue first and steal from others
+/// when empty; `push` appends to the pushing worker's own queue. An atomic
+/// outstanding-item counter provides termination (a worker exits when every
+/// queue is empty and no item is mid-expand). A pruned pop discards that
+/// item — and, when it came from the worker's own queue (where nobody else
+/// can interleave a push), the whole queue, since the popped item was its
+/// minimum and pruning bounds only ever tighten. Worker 0 always runs on
+/// the calling thread; workers 1..N-1 are spawned per traversal (the
+/// fixed util::ThreadPool must not be nested from a pool worker, and
+/// queries arrive on pool workers under batch and shard fan-out).
+template <typename Item>
+void BestFirstTraverse(
+    size_t workers, const std::vector<Item>& seeds,
+    const std::function<bool(const Item&, size_t)>& pruned,
+    const std::function<void(const Item&, size_t,
+                             const std::function<void(Item)>&)>& expand) {
+  if (workers <= 1) {
+    std::priority_queue<Item> queue;
+    for (const Item& seed : seeds) queue.push(seed);
+    const std::function<void(Item)> push = [&queue](Item item) {
+      queue.push(std::move(item));
+    };
+    while (!queue.empty()) {
+      const Item item = queue.top();
+      queue.pop();
+      if (pruned(item, 0)) break;
+      expand(item, 0, push);
+    }
+    return;
+  }
+
+  struct Slot {
+    std::mutex mu;
+    std::priority_queue<Item> queue;
+  };
+  std::vector<Slot> slots(workers);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    slots[i % workers].queue.push(seeds[i]);
+  }
+  std::atomic<int64_t> outstanding{static_cast<int64_t>(seeds.size())};
+
+  auto worker_loop = [&](size_t w) {
+    const std::function<void(Item)> push = [&slots, &outstanding,
+                                            w](Item item) {
+      outstanding.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(slots[w].mu);
+      slots[w].queue.push(std::move(item));
+    };
+    for (;;) {
+      std::optional<Item> item;
+      size_t from = w;
+      for (size_t scan = 0; scan < workers && !item.has_value(); ++scan) {
+        const size_t q = (w + scan) % workers;
+        std::lock_guard<std::mutex> lock(slots[q].mu);
+        if (!slots[q].queue.empty()) {
+          item = slots[q].queue.top();
+          slots[q].queue.pop();
+          from = q;
+        }
+      }
+      if (!item.has_value()) {
+        if (outstanding.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      if (pruned(*item, w)) {
+        int64_t cleared = 1;
+        if (from == w) {
+          // Only this worker pushes into its own queue, so nothing can
+          // have arrived since the pop: every remaining item is >= the
+          // pruned minimum, and bounds only tighten — the queue is dead.
+          std::lock_guard<std::mutex> lock(slots[w].mu);
+          while (!slots[w].queue.empty()) {
+            slots[w].queue.pop();
+            ++cleared;
+          }
+        }
+        outstanding.fetch_sub(cleared, std::memory_order_acq_rel);
+        continue;
+      }
+      expand(*item, w, push);
+      outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+}
+
+/// Block-cyclic parallel scan over [0, count): `scan(w, begin, end)` is
+/// called for disjoint blocks of `block` indices, workers grabbing the next
+/// block off an atomic cursor. The serial path (workers <= 1) makes exactly
+/// one call, scan(0, 0, count), so a driver's old flat loop moves into the
+/// callback unchanged and stays bit-identical. ADS+'s summary pass and
+/// skip-sequential refinement use this (its unit of work is a flat id
+/// range, not a tree frontier).
+inline void ParallelScan(
+    size_t workers, size_t count, size_t block,
+    const std::function<void(size_t, size_t, size_t)>& scan) {
+  HYDRA_CHECK(block > 0);
+  if (count == 0) return;
+  if (workers <= 1) {
+    scan(0, 0, count);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  auto worker_loop = [&](size_t w) {
+    for (;;) {
+      const size_t begin = cursor.fetch_add(block, std::memory_order_relaxed);
+      if (begin >= count) return;
+      scan(w, begin, std::min(begin + block, count));
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+}
+
+/// Per-worker answer heaps and ledgers of one intra-query-parallel k-NN
+/// traversal, plus the deterministic merge.
+///
+/// Worker 0 runs on the calling thread and answers into `primary` (the
+/// driver's scratch heap, which the ng-descent bsf phase has usually
+/// already primed) with `primary_stats` (the result ledger, already
+/// carrying the descent's counters); workers 1..N-1 get engine-owned
+/// plain heaps and fresh ledgers (spawned threads must not touch the
+/// calling thread's thread_local scratch).
+///
+/// Bound wiring: with one worker this attaches plan.shared_bound to the
+/// primary heap — exactly what the drivers did, a no-op when null. With
+/// N > 1 every worker heap attaches to one SharedBound — the plan's when
+/// sharded (shards x workers share a single bound per query) or an
+/// engine-local one otherwise — so each worker's Bound() is
+/// min(local k-th, global published k-th) and never drops below the final
+/// k-th true distance.
+class KnnWorkers {
+ public:
+  KnnWorkers(KnnHeap* primary, SearchStats* primary_stats,
+             const KnnPlan& plan)
+      : primary_(primary),
+        primary_stats_(primary_stats),
+        workers_(plan.query_threads < 1 ? 1 : plan.query_threads) {
+    if (workers_ == 1) {
+      primary_->ShareBound(plan.shared_bound);
+      return;
+    }
+    SharedBound* bound =
+        plan.shared_bound != nullptr ? plan.shared_bound : &own_bound_;
+    primary_->ShareBound(bound);
+    extra_heaps_.resize(workers_ - 1);
+    extra_stats_.resize(workers_ - 1);
+    for (KnnHeap& heap : extra_heaps_) {
+      heap.Reset(plan.k);
+      heap.ShareBound(bound);
+    }
+  }
+
+  size_t workers() const { return workers_; }
+
+  KnnHeap& heap(size_t w) {
+    return w == 0 ? *primary_ : extra_heaps_[w - 1];
+  }
+
+  SearchStats& stats(size_t w) {
+    return w == 0 ? *primary_stats_ : extra_stats_[w - 1];
+  }
+
+  /// Deterministic merge: extracts every worker's candidates, sorts the
+  /// union by (dist_sq, id) — the repo-wide Neighbor order — and keeps the
+  /// k best; folds the extra workers' ledgers into the primary one in
+  /// worker order. With one worker this is exactly the old
+  /// ExtractSortedTo, counters untouched.
+  void Finish(size_t k, std::vector<Neighbor>* out) {
+    primary_->ExtractSortedTo(out);
+    if (workers_ == 1) return;
+    std::vector<Neighbor> part;
+    for (KnnHeap& heap : extra_heaps_) {
+      heap.ExtractSortedTo(&part);
+      out->insert(out->end(), part.begin(), part.end());
+    }
+    std::sort(out->begin(), out->end());
+    if (out->size() > k) out->resize(k);
+    for (const SearchStats& s : extra_stats_) primary_stats_->Add(s);
+  }
+
+ private:
+  KnnHeap* primary_;
+  SearchStats* primary_stats_;
+  size_t workers_;
+  SharedBound own_bound_;
+  std::vector<KnnHeap> extra_heaps_;
+  std::vector<SearchStats> extra_stats_;
+};
+
+/// The range-query counterpart of KnnWorkers: one RangeCollector and one
+/// ledger per worker. Range pruning uses the fixed r^2 bound, so the set
+/// of nodes visited — and therefore every counter — is traversal-order
+/// independent; the merge only has to concatenate, sort by (dist_sq, id),
+/// and sum ledgers in worker order.
+class RangeWorkers {
+ public:
+  RangeWorkers(double radius_sq, SearchStats* primary_stats,
+               size_t query_threads)
+      : primary_stats_(primary_stats),
+        workers_(query_threads < 1 ? 1 : query_threads) {
+    collectors_.reserve(workers_);
+    for (size_t w = 0; w < workers_; ++w) collectors_.emplace_back(radius_sq);
+    extra_stats_.resize(workers_ - 1);
+  }
+
+  size_t workers() const { return workers_; }
+
+  RangeCollector& collector(size_t w) { return collectors_[w]; }
+
+  SearchStats& stats(size_t w) {
+    return w == 0 ? *primary_stats_ : extra_stats_[w - 1];
+  }
+
+  /// Concatenates every worker's matches sorted by (dist_sq, id) into
+  /// `*out` and folds the extra ledgers into the primary one.
+  void Finish(std::vector<Neighbor>* out) {
+    *out = collectors_[0].TakeSorted();
+    if (workers_ == 1) return;
+    for (size_t w = 1; w < workers_; ++w) {
+      const std::vector<Neighbor> part = collectors_[w].TakeSorted();
+      out->insert(out->end(), part.begin(), part.end());
+    }
+    std::sort(out->begin(), out->end());
+    for (const SearchStats& s : extra_stats_) primary_stats_->Add(s);
+  }
+
+ private:
+  SearchStats* primary_stats_;
+  size_t workers_;
+  std::vector<RangeCollector> collectors_;
+  std::vector<SearchStats> extra_stats_;
+};
+
+}  // namespace hydra::core
+
+#endif  // HYDRA_CORE_TRAVERSAL_H_

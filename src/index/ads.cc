@@ -1,8 +1,10 @@
 #include "index/ads.h"
 
 #include <cmath>
+#include <memory>
 
 #include "core/distance.h"
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "transform/paa.h"
 #include "util/check.h"
@@ -78,7 +80,7 @@ core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap heap(plan.k);
-  heap.ShareBound(plan.shared_bound);
+  core::KnnWorkers workers(&heap, &result.stats, plan);
   const core::QueryOrder order(query);
   const size_t segments = options_.segments;
   const auto paa = transform::Paa(query, segments);
@@ -118,24 +120,29 @@ core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
   // O(N) summary pass and the refinement scan outright — the whole point
   // of a budget is to keep truncated queries cheap.
   if (result.stats.budget_exhausted) {
-    result.neighbors = heap.TakeSorted();
+    workers.Finish(plan.k, &result.neighbors);
     result.stats.cpu_seconds = timer.Seconds();
     return result;
   }
 
   // Phase 2: lower bounds against every full-resolution summary (the
-  // summary array is memory-resident).
+  // summary array is memory-resident). Disjoint blocks write disjoint
+  // lb[] slots, so the parallel sweep computes exactly the serial values.
   const size_t count = data_->size();
   std::vector<double> lb(count);
-  transform::IsaxWord w;
-  w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
-  w.symbols.resize(segments);
-  for (size_t i = 0; i < count; ++i) {
-    for (size_t s = 0; s < segments; ++s) {
-      w.symbols[s] = full_words_[i * segments + s];
-    }
-    lb[i] = transform::IsaxMinDistSq(paa, w, pps);
-  }
+  core::ParallelScan(
+      workers.workers(), count, /*block=*/4096,
+      [&](size_t /*w*/, size_t begin, size_t end) {
+        transform::IsaxWord w;
+        w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
+        w.symbols.resize(segments);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t s = 0; s < segments; ++s) {
+            w.symbols[s] = full_words_[i * segments + s];
+          }
+          lb[i] = transform::IsaxMinDistSq(paa, w, pps);
+        }
+      });
   result.stats.lower_bound_computations += static_cast<int64_t>(count);
 
   // The delta stopping rule, over ADS+'s unit of random access: cap the
@@ -154,35 +161,50 @@ core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
   // Phase 3: skip-sequential scan of the raw file over non-pruned series
   // (series already refined in phase 1 are not re-read). Pruning against
   // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
-  // within (1+epsilon) of the truth (exact with the default plan).
+  // within (1+epsilon) of the truth (exact with the default plan). Extra
+  // workers read through their own storage cursors; budgets and the delta
+  // rule only ever bind at width 1 (Execute's pure-exact gate), where the
+  // single block replays the serial scan exactly.
   raw_->ResetCursor();
-  int64_t refined = 0;
-  for (size_t i = 0; i < count && !result.stats.budget_exhausted; ++i) {
-    if (evaluated[i] || lb[i] >= heap.Bound() * plan.bound_scale) {
-      continue;  // skip
-    }
-    if (plan.RawCapReached(&result.stats)) break;
-    if (refined >= delta_cap) break;  // delta rule: no budget flag
-    const core::SeriesView s =
-        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
-    const double d = order.Distance(s, heap.Bound());
-    ++result.stats.distance_computations;
-    ++result.stats.raw_series_examined;
-    ++refined;
-    heap.Offer(static_cast<core::SeriesId>(i), d);
+  std::vector<std::unique_ptr<io::CountedStorage>> extra_storage;
+  for (size_t w = 1; w < workers.workers(); ++w) {
+    extra_storage.push_back(std::make_unique<io::CountedStorage>(data_));
   }
+  std::vector<int64_t> refined(workers.workers(), 0);
+  core::ParallelScan(
+      workers.workers(), count, /*block=*/1024,
+      [&](size_t w, size_t begin, size_t end) {
+        core::KnnHeap& local = workers.heap(w);
+        core::SearchStats& stats = workers.stats(w);
+        io::CountedStorage& storage = w == 0 ? *raw_ : *extra_storage[w - 1];
+        for (size_t i = begin; i < end && !stats.budget_exhausted; ++i) {
+          if (evaluated[i] || lb[i] >= local.Bound() * plan.bound_scale) {
+            continue;  // skip
+          }
+          if (plan.RawCapReached(&stats)) break;
+          if (refined[w] >= delta_cap) break;  // delta rule: no budget flag
+          const core::SeriesView s =
+              storage.Read(static_cast<core::SeriesId>(i), &stats);
+          const double d = order.Distance(s, local.Bound());
+          ++stats.distance_computations;
+          ++stats.raw_series_examined;
+          ++refined[w];
+          local.Offer(static_cast<core::SeriesId>(i), d);
+        }
+      });
 
-  result.neighbors = heap.TakeSorted();
+  workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult AdsPlus::DoSearchRange(core::SeriesView query,
-                                         double radius) {
+                                         const core::RangePlan& plan) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;
-  core::RangeCollector collector(radius * radius);
+  const double radius_sq = plan.radius * plan.radius;
+  core::RangeWorkers workers(radius_sq, &result.stats, plan.query_threads);
   const core::QueryOrder order(query);
   const size_t segments = options_.segments;
   const auto paa = transform::Paa(query, segments);
@@ -190,26 +212,41 @@ core::RangeResult AdsPlus::DoSearchRange(core::SeriesView query,
 
   // SIMS with a fixed bound: the approximate phase is unnecessary — prune
   // every summary against r^2, then skip-sequentially refine survivors.
+  // Every test uses the fixed radius, so the parallel sweep charges exactly
+  // the serial distance/lower-bound counters; extra workers read through
+  // their own storage cursors.
   const size_t count = data_->size();
-  transform::IsaxWord w;
-  w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
-  w.symbols.resize(segments);
   raw_->ResetCursor();
-  for (size_t i = 0; i < count; ++i) {
-    for (size_t s = 0; s < segments; ++s) {
-      w.symbols[s] = full_words_[i * segments + s];
-    }
-    ++result.stats.lower_bound_computations;
-    if (transform::IsaxMinDistSq(paa, w, pps) > collector.Bound()) continue;
-    const core::SeriesView s =
-        raw_->Read(static_cast<core::SeriesId>(i), &result.stats);
-    const double d = order.Distance(s, collector.Bound());
-    ++result.stats.distance_computations;
-    ++result.stats.raw_series_examined;
-    collector.Offer(static_cast<core::SeriesId>(i), d);
+  std::vector<std::unique_ptr<io::CountedStorage>> extra_storage;
+  for (size_t w = 1; w < workers.workers(); ++w) {
+    extra_storage.push_back(std::make_unique<io::CountedStorage>(data_));
   }
+  core::ParallelScan(
+      workers.workers(), count, /*block=*/1024,
+      [&](size_t worker, size_t begin, size_t end) {
+        core::RangeCollector& collector = workers.collector(worker);
+        core::SearchStats& stats = workers.stats(worker);
+        io::CountedStorage& storage =
+            worker == 0 ? *raw_ : *extra_storage[worker - 1];
+        transform::IsaxWord w;
+        w.bits.assign(segments, static_cast<uint8_t>(transform::kMaxSaxBits));
+        w.symbols.resize(segments);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t s = 0; s < segments; ++s) {
+            w.symbols[s] = full_words_[i * segments + s];
+          }
+          ++stats.lower_bound_computations;
+          if (transform::IsaxMinDistSq(paa, w, pps) > radius_sq) continue;
+          const core::SeriesView s =
+              storage.Read(static_cast<core::SeriesId>(i), &stats);
+          const double d = order.Distance(s, collector.Bound());
+          ++stats.distance_computations;
+          ++stats.raw_series_examined;
+          collector.Offer(static_cast<core::SeriesId>(i), d);
+        }
+      });
 
-  result.matches = collector.TakeSorted();
+  workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -43,10 +43,15 @@ class AdsPlus : public core::SearchMethod {
             .supports_epsilon = true,
             .supports_delta_epsilon = true,
             .supports_persistence = true,
-            // Sharding is what finally parallelizes ADS+: the fan-out
-            // gives each shard's adaptive tree exactly one thread per
-            // query, so concurrent_queries can stay honestly false.
-            .shardable = true};
+            // Sharding is what finally parallelizes ADS+ across queries:
+            // the fan-out gives each shard's adaptive tree exactly one
+            // thread per query, so concurrent_queries can stay honestly
+            // false.
+            .shardable = true,
+            // Within one query the tree-mutating phase 1 stays on the
+            // calling thread; only the order-independent summary and
+            // refinement scans fan out.
+            .intra_query_parallel = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
@@ -62,7 +67,7 @@ class AdsPlus : public core::SearchMethod {
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   AdsOptions options_;

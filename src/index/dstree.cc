@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
 #include "core/distance.h"
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -386,11 +388,12 @@ core::KnnResult DsTree::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
-  heap.ShareBound(plan.shared_bound);
+  core::KnnWorkers workers(&heap, &result.stats, plan);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
-  // ng-approximate descent for the initial bsf.
+  // ng-approximate descent for the initial bsf, always on the calling
+  // thread into the primary heap (its bound is published to every worker).
   Node* node = root_.get();
   while (!node->is_leaf) {
     const auto& cs = node->child_seg;
@@ -402,12 +405,12 @@ core::KnnResult DsTree::DoSearchKnn(core::SeriesView query,
   ++result.stats.nodes_visited;
   const Node* home = node;
   VisitLeaf(*home, order, plan, &heap, &result.stats);
-  int64_t leaves_visited = 1;
 
   // Best-first traversal with the EAPCA node lower bound. Pruning against
   // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
   // within (1+epsilon) of the truth; with the default plan this is the
-  // exact search, bit for bit.
+  // exact search, bit for bit. Caps and budgets only ever bind at width 1
+  // (Execute's pure-exact gate).
   struct Item {
     double lb;
     const Node* node;
@@ -415,80 +418,108 @@ core::KnnResult DsTree::DoSearchKnn(core::SeriesView query,
       return lb > other.lb;
     }
   };
-  std::priority_queue<Item> pq;
-  pq.push({0.0, root_.get()});
-  while (!pq.empty() && !result.stats.budget_exhausted) {
-    const Item item = pq.top();
-    pq.pop();
-    if (item.lb >= heap.Bound() * plan.bound_scale) break;
-    ++result.stats.nodes_visited;
-    if (item.node->is_leaf) {
-      if (item.node != home) {
-        if (plan.LeafCapReached(leaves_visited, leaf_count_,
-                                &result.stats)) {
-          break;
+  std::vector<int64_t> leaves(workers.workers(), 0);
+  leaves[0] = 1;
+  std::vector<uint8_t> stop(workers.workers(), 0);
+  core::BestFirstTraverse<Item>(
+      workers.workers(), {Item{0.0, root_.get()}},
+      [&](const Item& item, size_t w) {
+        return stop[w] != 0 || workers.stats(w).budget_exhausted ||
+               item.lb >= workers.heap(w).Bound() * plan.bound_scale;
+      },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        if (item.node->is_leaf) {
+          if (item.node != home) {
+            if (plan.LeafCapReached(leaves[w], leaf_count_, &stats)) {
+              stop[w] = 1;
+              return;
+            }
+            VisitLeaf(*item.node, order, plan, &workers.heap(w), &stats);
+            ++leaves[w];
+          }
+          return;
         }
-        VisitLeaf(*item.node, order, plan, &heap, &result.stats);
-        ++leaves_visited;
-      }
-      continue;
-    }
-    for (const Node* child :
-         {item.node->left.get(), item.node->right.get()}) {
-      if (child->count == 0) continue;
-      const auto q_stats = StatsOn(qp, child->seg);
-      const double lb =
-          transform::EapcaNodeLbSq(q_stats, child->ranges, child->seg);
-      ++result.stats.lower_bound_computations;
-      if (lb < heap.Bound() * plan.bound_scale) pq.push({lb, child});
-    }
-  }
+        for (const Node* child :
+             {item.node->left.get(), item.node->right.get()}) {
+          if (child->count == 0) continue;
+          const auto q_stats = StatsOn(qp, child->seg);
+          const double lb =
+              transform::EapcaNodeLbSq(q_stats, child->ranges, child->seg);
+          ++stats.lower_bound_computations;
+          if (lb < workers.heap(w).Bound() * plan.bound_scale) {
+            push({lb, child});
+          }
+        }
+      });
 
-  heap.ExtractSortedTo(&result.neighbors);
+  workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult DsTree::DoSearchRange(core::SeriesView query,
-                                        double radius) {
+                                        const core::RangePlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;
-  core::RangeCollector collector(radius * radius);
+  core::RangeWorkers workers(plan.radius * plan.radius, &result.stats,
+                             plan.query_threads);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const Prefix qp = ComputePrefix(query);
 
-  // Depth-first traversal with the fixed bound (no bsf to tighten, so no
-  // priority ordering is needed).
-  std::vector<const Node*> stack = {root_.get()};
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    if (node->count == 0) continue;
+  // Engine traversal with the fixed r^2 bound: nodes are bounded before
+  // they enter the frontier, so nothing is ever pruned at pop time and
+  // every counter is traversal-order independent — the parallel sweep
+  // charges exactly the serial counters.
+  struct Item {
+    double lb;
+    const Node* node;
+    bool operator<(const Item& other) const { return lb > other.lb; }
+  };
+  const double radius_sq = plan.radius * plan.radius;
+  auto bounded = [&](const Node* node, core::SearchStats* stats)
+      -> std::optional<Item> {
+    if (node->count == 0) return std::nullopt;
     const auto q_stats = StatsOn(qp, node->seg);
-    ++result.stats.lower_bound_computations;
-    if (transform::EapcaNodeLbSq(q_stats, node->ranges, node->seg) >
-        collector.Bound()) {
-      continue;
-    }
-    ++result.stats.nodes_visited;
-    if (node->is_leaf) {
-      io::ChargeLeafRead(node->ids.size(),
-                         data_->length() * sizeof(core::Value),
-                         &result.stats);
-      for (const core::SeriesId id : node->ids) {
-        const double d = order.Distance((*data_)[id], collector.Bound());
-        ++result.stats.distance_computations;
-        ++result.stats.raw_series_examined;
-        collector.Offer(id, d);
-      }
-      continue;
-    }
-    stack.push_back(node->left.get());
-    stack.push_back(node->right.get());
+    ++stats->lower_bound_computations;
+    const double lb =
+        transform::EapcaNodeLbSq(q_stats, node->ranges, node->seg);
+    if (lb > radius_sq) return std::nullopt;
+    return Item{lb, node};
+  };
+  std::vector<Item> seeds;
+  if (const auto root = bounded(root_.get(), &result.stats)) {
+    seeds.push_back(*root);
   }
+  core::BestFirstTraverse<Item>(
+      workers.workers(), seeds,
+      [](const Item&, size_t) { return false; },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::RangeCollector& collector = workers.collector(w);
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        if (item.node->is_leaf) {
+          io::ChargeLeafRead(item.node->ids.size(),
+                             data_->length() * sizeof(core::Value), &stats);
+          for (const core::SeriesId id : item.node->ids) {
+            const double d = order.Distance((*data_)[id], collector.Bound());
+            ++stats.distance_computations;
+            ++stats.raw_series_examined;
+            collector.Offer(id, d);
+          }
+          return;
+        }
+        for (const Node* child :
+             {item.node->left.get(), item.node->right.get()}) {
+          if (const auto entry = bounded(child, &stats)) push(*entry);
+        }
+      });
 
-  result.matches = collector.TakeSorted();
+  workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/distance.h"
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "transform/paa.h"
 #include "util/check.h"
@@ -94,90 +95,99 @@ core::KnnResult Isax2Plus::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
-  heap.ShareBound(plan.shared_bound);
+  core::KnnWorkers workers(&heap, &result.stats, plan);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
 
   // ng-approximate phase: descend to the query's covering leaf for a bsf.
+  // Always on the calling thread (worker 0), into the primary heap, so
+  // every worker starts from the descent's published bound.
   std::vector<uint8_t> q_word(options_.segments);
   for (size_t s = 0; s < options_.segments; ++s) {
     q_word[s] = transform::SaxSymbol(paa[s], transform::kMaxSaxBits);
   }
   IsaxTree::Node* home = tree_->ApproximateLeaf(q_word, paa, pps);
-  int64_t leaves_visited = 0;
   if (home != nullptr) {
     ++result.stats.nodes_visited;
     VisitLeaf(*home, order, plan, &heap, &result.stats);
-    ++leaves_visited;
   }
 
   // A budget exhausted already in the home leaf makes the answer final:
   // skip the traversal outright rather than paying its first-level
   // MINDIST fan-out just to have the -inf bound prune everything.
   if (result.stats.budget_exhausted) {
-    heap.ExtractSortedTo(&result.neighbors);
+    workers.Finish(plan.k, &result.neighbors);
     result.stats.cpu_seconds = timer.Seconds();
     return result;
   }
 
   // Best-first traversal pruned against bsf/(1+epsilon)^2
   // (plan.bound_scale; exact with the default plan). Once a cap fires the
-  // bound closure collapses to -inf, which stops the tree traversal on
-  // its next pop.
-  bool stop = false;
+  // bound closure collapses to -inf, which stops that worker's traversal
+  // on its next pop. Caps and budgets only ever bind at width 1 (Execute's
+  // pure-exact gate), so the per-worker stop flags never diverge.
+  std::vector<int64_t> leaves(workers.workers(), 0);
+  leaves[0] = home != nullptr ? 1 : 0;
+  std::vector<uint8_t> stop(workers.workers(), 0);
   tree_->BestFirstSearch(
-      paa, pps,
-      [&]() -> double {
-        if (stop || result.stats.budget_exhausted) {
+      paa, pps, workers.workers(),
+      [&](size_t w) -> double {
+        if (stop[w] != 0 || workers.stats(w).budget_exhausted) {
           return -std::numeric_limits<double>::infinity();
         }
-        return heap.Bound() * plan.bound_scale;
+        return workers.heap(w).Bound() * plan.bound_scale;
       },
-      [&](IsaxTree::Node* leaf) {
-        if (stop || result.stats.budget_exhausted || leaf == home) return;
-        if (plan.LeafCapReached(leaves_visited, leaf_count_,
-                                &result.stats)) {
-          stop = true;
+      [&](IsaxTree::Node* leaf, size_t w) {
+        if (stop[w] != 0 || workers.stats(w).budget_exhausted ||
+            leaf == home) {
           return;
         }
-        VisitLeaf(*leaf, order, plan, &heap, &result.stats);
-        ++leaves_visited;
+        if (plan.LeafCapReached(leaves[w], leaf_count_,
+                                &workers.stats(w))) {
+          stop[w] = 1;
+          return;
+        }
+        VisitLeaf(*leaf, order, plan, &workers.heap(w), &workers.stats(w));
+        ++leaves[w];
       },
-      &result.stats);
+      [&](size_t w) { return &workers.stats(w); });
 
-  heap.ExtractSortedTo(&result.neighbors);
+  workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
-                                           double radius) {
+                                           const core::RangePlan& plan) {
   HYDRA_CHECK(tree_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;
-  core::RangeCollector collector(radius * radius);
+  core::RangeWorkers workers(plan.radius * plan.radius, &result.stats,
+                             plan.query_threads);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const auto paa = transform::Paa(query, options_.segments);
   const size_t pps = query.size() / options_.segments;
 
   tree_->BestFirstSearch(
-      paa, pps, [&] { return collector.Bound(); },
-      [&](IsaxTree::Node* leaf) {
+      paa, pps, workers.workers(),
+      [&](size_t w) { return workers.collector(w).Bound(); },
+      [&](IsaxTree::Node* leaf, size_t w) {
         if (leaf->ids.empty()) return;
+        core::RangeCollector& collector = workers.collector(w);
+        core::SearchStats& stats = workers.stats(w);
         io::ChargeLeafRead(leaf->ids.size(),
-                           data_->length() * sizeof(core::Value),
-                           &result.stats);
+                           data_->length() * sizeof(core::Value), &stats);
         for (const core::SeriesId id : leaf->ids) {
           const double d = order.Distance((*data_)[id], collector.Bound());
-          ++result.stats.distance_computations;
-          ++result.stats.raw_series_examined;
+          ++stats.distance_computations;
+          ++stats.raw_series_examined;
           collector.Offer(id, d);
         }
       },
-      &result.stats);
+      [&](size_t w) { return &workers.stats(w); });
 
-  result.matches = collector.TakeSorted();
+  workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -38,7 +38,8 @@ class Isax2Plus : public core::SearchMethod {
             .supports_delta_epsilon = true,
             .leaf_visit_budget = true,
             .supports_persistence = true,
-            .shardable = true};
+            .shardable = true,
+            .intra_query_parallel = true};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
@@ -52,7 +53,7 @@ class Isax2Plus : public core::SearchMethod {
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   /// Scans a leaf's raw series into the heap, honoring the plan's raw

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "util/check.h"
 
@@ -197,11 +198,11 @@ IsaxTree::Node* IsaxTree::ApproximateLeaf(std::span<const uint8_t> full_word,
   return node;
 }
 
-void IsaxTree::BestFirstSearch(std::span<const double> paa_q,
-                               size_t points_per_segment,
-                               const std::function<double()>& bound,
-                               const std::function<void(Node*)>& visit_leaf,
-                               core::SearchStats* stats) const {
+void IsaxTree::BestFirstSearch(
+    std::span<const double> paa_q, size_t points_per_segment, size_t workers,
+    const std::function<double(size_t)>& bound,
+    const std::function<void(Node*, size_t)>& visit_leaf,
+    const std::function<core::SearchStats*(size_t)>& stats) const {
   struct Item {
     double mindist;
     Node* node;
@@ -209,29 +210,35 @@ void IsaxTree::BestFirstSearch(std::span<const double> paa_q,
       return mindist > other.mindist;  // min-heap
     }
   };
-  std::priority_queue<Item> queue;
+  // Seeding runs on the calling thread, in first-level map order, exactly
+  // like the old private loop — the engine pushes the seeds in this order.
+  std::vector<Item> seeds;
   for (const auto& [key, node] : first_level_) {
     const double d = transform::IsaxMinDistSq(paa_q, node->word,
                                               points_per_segment);
-    if (stats != nullptr) ++stats->lower_bound_computations;
-    if (d < bound()) queue.push({d, node.get()});
+    ++stats(0)->lower_bound_computations;
+    if (d < bound(0)) seeds.push_back({d, node.get()});
   }
-  while (!queue.empty()) {
-    const Item item = queue.top();
-    queue.pop();
-    if (item.mindist >= bound()) break;  // all remaining nodes are pruned
-    if (stats != nullptr) ++stats->nodes_visited;
-    if (item.node->is_leaf) {
-      visit_leaf(item.node);
-      continue;
-    }
-    for (Node* child : {item.node->child0.get(), item.node->child1.get()}) {
-      const double d = transform::IsaxMinDistSq(paa_q, child->word,
-                                                points_per_segment);
-      if (stats != nullptr) ++stats->lower_bound_computations;
-      if (d < bound()) queue.push({d, child});
-    }
-  }
+  core::BestFirstTraverse<Item>(
+      workers, seeds,
+      [&bound](const Item& item, size_t w) {
+        return item.mindist >= bound(w);  // all remaining nodes are pruned
+      },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        ++stats(w)->nodes_visited;
+        if (item.node->is_leaf) {
+          visit_leaf(item.node, w);
+          return;
+        }
+        for (Node* child :
+             {item.node->child0.get(), item.node->child1.get()}) {
+          const double d = transform::IsaxMinDistSq(paa_q, child->word,
+                                                    points_per_segment);
+          ++stats(w)->lower_bound_computations;
+          if (d < bound(w)) push({d, child});
+        }
+      });
 }
 
 void IsaxTree::ForEachNode(const std::function<void(const Node&)>& fn) const {

@@ -72,14 +72,20 @@ class IsaxTree {
                         std::span<const double> paa_q,
                         size_t points_per_segment);
 
-  /// Best-first exact traversal: calls `visit_leaf(leaf)` for every leaf
-  /// whose MINDIST to `paa_q` is below the bound returned by `bound()`
-  /// (re-evaluated as the search tightens).
-  void BestFirstSearch(std::span<const double> paa_q,
-                       size_t points_per_segment,
-                       const std::function<double()>& bound,
-                       const std::function<void(Node*)>& visit_leaf,
-                       core::SearchStats* stats) const;
+  /// Best-first exact traversal over core::BestFirstTraverse: calls
+  /// `visit_leaf(leaf, w)` from worker w for every leaf whose MINDIST to
+  /// `paa_q` is below the bound returned by `bound(w)` (re-evaluated as
+  /// the search tightens). `workers == 1` runs the classic serial loop on
+  /// the calling thread, bit-identical to the pre-engine traversal; with
+  /// more workers the frontier is drained cooperatively and the callbacks
+  /// must be safe to call concurrently with distinct w. Seeding (the
+  /// first-level MINDIST fan-out) always runs on the calling thread and
+  /// charges `stats(0)`.
+  void BestFirstSearch(
+      std::span<const double> paa_q, size_t points_per_segment,
+      size_t workers, const std::function<double(size_t)>& bound,
+      const std::function<void(Node*, size_t)>& visit_leaf,
+      const std::function<core::SearchStats*(size_t)>& stats) const;
 
   const IsaxTreeOptions& options() const { return options_; }
 

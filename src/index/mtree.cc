@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -295,10 +296,9 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
   const double shrink = 1.0 / (1.0 + plan.epsilon);
   util::WallTimer timer;
   core::KnnResult result;
-  int64_t leaves_visited = 0;
   core::KnnHeap& heap =
       core::ScratchKnnHeap(plan.k);  // squared, like all methods
-  heap.ShareBound(plan.shared_bound);
+  core::KnnWorkers workers(&heap, &result.stats, plan);
 
   struct Item {
     double dmin;         // lower bound on the distance to any member
@@ -308,97 +308,126 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
       return dmin > other.dmin;
     }
   };
+  // The root distance is computed on the calling thread (worker 0) so the
+  // seed — and its charge — matches the serial traversal exactly.
   const double root_dist = DistToQuery(query, root_->center, &result.stats);
-  std::priority_queue<Item> pq;
-  pq.push({std::max(0.0, root_dist - root_->radius), root_dist, root_.get()});
-
-  while (!pq.empty() && !result.stats.budget_exhausted) {
-    const Item item = pq.top();
-    pq.pop();
-    const double bsf = std::sqrt(heap.Bound()) * shrink;
-    if (item.dmin >= bsf) break;
-    ++result.stats.nodes_visited;
-    const Node* node = item.node;
-    if (node->is_leaf) {
-      // No delta rule on the M-tree (leaf_count 0), so only the explicit
-      // budget can bind here.
-      if (plan.LeafCapReached(leaves_visited, 0, &result.stats)) break;
-      ++leaves_visited;
-      for (const auto& [id, dist_to_center] : node->entries) {
-        // Triangle-inequality filter using the precomputed distance.
-        if (std::fabs(item.dist_center - dist_to_center) >=
-            std::sqrt(heap.Bound()) * shrink) {
-          continue;
+  std::vector<int64_t> leaves(workers.workers(), 0);
+  std::vector<uint8_t> stop(workers.workers(), 0);
+  core::BestFirstTraverse<Item>(
+      workers.workers(),
+      {Item{std::max(0.0, root_dist - root_->radius), root_dist,
+            root_.get()}},
+      [&](const Item& item, size_t w) {
+        return stop[w] != 0 || workers.stats(w).budget_exhausted ||
+               item.dmin >= std::sqrt(workers.heap(w).Bound()) * shrink;
+      },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::KnnHeap& local = workers.heap(w);
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        const Node* node = item.node;
+        if (node->is_leaf) {
+          // No delta rule on the M-tree (leaf_count 0), so only the
+          // explicit budget can bind here — and budgets only ever bind at
+          // width 1 (Execute's pure-exact gate).
+          if (plan.LeafCapReached(leaves[w], 0, &stats)) {
+            stop[w] = 1;
+            return;
+          }
+          ++leaves[w];
+          for (const auto& [id, dist_to_center] : node->entries) {
+            // Triangle-inequality filter using the precomputed distance.
+            if (std::fabs(item.dist_center - dist_to_center) >=
+                std::sqrt(local.Bound()) * shrink) {
+              continue;
+            }
+            if (plan.RawCapReached(&stats)) break;
+            const double d = DistToQuery(query, id, &stats);
+            ++stats.raw_series_examined;
+            local.Offer(id, d * d);
+          }
+          return;
         }
-        if (plan.RawCapReached(&result.stats)) break;
-        const double d = DistToQuery(query, id, &result.stats);
-        ++result.stats.raw_series_examined;
-        heap.Offer(id, d * d);
-      }
-      continue;
-    }
-    for (const auto& child : node->children) {
-      const double current_bsf = std::sqrt(heap.Bound()) * shrink;
-      // Prune with the parent distance before computing d(q, child center).
-      if (std::fabs(item.dist_center - child->dist_to_parent) -
-              child->radius >=
-          current_bsf) {
-        continue;
-      }
-      const double d = DistToQuery(query, child->center, &result.stats);
-      const double dmin = std::max(0.0, d - child->radius);
-      if (dmin < current_bsf) pq.push({dmin, d, child.get()});
-    }
-  }
+        for (const auto& child : node->children) {
+          const double current_bsf = std::sqrt(local.Bound()) * shrink;
+          // Prune with the parent distance before computing d(q, child
+          // center).
+          if (std::fabs(item.dist_center - child->dist_to_parent) -
+                  child->radius >=
+              current_bsf) {
+            continue;
+          }
+          const double d = DistToQuery(query, child->center, &stats);
+          const double dmin = std::max(0.0, d - child->radius);
+          if (dmin < current_bsf) push({dmin, d, child.get()});
+        }
+      });
 
-  heap.ExtractSortedTo(&result.neighbors);
+  workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult MTree::DoSearchRange(core::SeriesView query,
-                                       double radius) {
+                                       const core::RangePlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
+  const double radius = plan.radius;
   util::WallTimer timer;
   core::RangeResult result;
-  core::RangeCollector collector(radius * radius);
+  core::RangeWorkers workers(radius * radius, &result.stats,
+                             plan.query_threads);
 
   // Classic metric range query: recurse into children whose covering
   // sphere intersects the query ball, filtering with parent distances
-  // before computing real ones.
-  struct Frame {
-    const Node* node;
+  // before computing real ones. All filters use the fixed radius, so every
+  // counter is traversal-order independent and the parallel sweep charges
+  // exactly the serial totals.
+  struct Item {
+    double dmin;         // max(0, d(q, center) - covering radius)
     double dist_center;  // d(q, node center)
+    const Node* node;
+    bool operator<(const Item& other) const { return dmin > other.dmin; }
   };
-  std::vector<Frame> stack;
+  std::vector<Item> seeds;
   const double root_dist = DistToQuery(query, root_->center, &result.stats);
   if (root_dist - root_->radius <= radius) {
-    stack.push_back({root_.get(), root_dist});
+    seeds.push_back({std::max(0.0, root_dist - root_->radius), root_dist,
+                     root_.get()});
   }
-  while (!stack.empty()) {
-    const Frame f = stack.back();
-    stack.pop_back();
-    ++result.stats.nodes_visited;
-    if (f.node->is_leaf) {
-      for (const auto& [id, dist_to_center] : f.node->entries) {
-        if (std::fabs(f.dist_center - dist_to_center) > radius) continue;
-        const double d = DistToQuery(query, id, &result.stats);
-        ++result.stats.raw_series_examined;
-        collector.Offer(id, d * d);
-      }
-      continue;
-    }
-    for (const auto& child : f.node->children) {
-      if (std::fabs(f.dist_center - child->dist_to_parent) - child->radius >
-          radius) {
-        continue;
-      }
-      const double d = DistToQuery(query, child->center, &result.stats);
-      if (d - child->radius <= radius) stack.push_back({child.get(), d});
-    }
-  }
+  core::BestFirstTraverse<Item>(
+      workers.workers(), seeds,
+      [](const Item&, size_t) { return false; },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::RangeCollector& collector = workers.collector(w);
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        if (item.node->is_leaf) {
+          for (const auto& [id, dist_to_center] : item.node->entries) {
+            if (std::fabs(item.dist_center - dist_to_center) > radius) {
+              continue;
+            }
+            const double d = DistToQuery(query, id, &stats);
+            ++stats.raw_series_examined;
+            collector.Offer(id, d * d);
+          }
+          return;
+        }
+        for (const auto& child : item.node->children) {
+          if (std::fabs(item.dist_center - child->dist_to_parent) -
+                  child->radius >
+              radius) {
+            continue;
+          }
+          const double d = DistToQuery(query, child->center, &stats);
+          if (d - child->radius <= radius) {
+            push({std::max(0.0, d - child->radius), d, child.get()});
+          }
+        }
+      });
 
-  result.matches = collector.TakeSorted();
+  workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -37,7 +37,8 @@ class MTree : public core::SearchMethod {
             .supports_epsilon = true,
             .leaf_visit_budget = true,
             .supports_persistence = true,
-            .shardable = true};
+            .shardable = true,
+            .intra_query_parallel = true};
   }
 
   /// Legacy entry point (deprecated): epsilon-approximate k-NN
@@ -63,7 +64,7 @@ class MTree : public core::SearchMethod {
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   struct Node;

@@ -499,7 +499,8 @@ core::KnnResult RStarTree::DoSearchKnn(core::SeriesView query,
 }
 
 core::RangeResult RStarTree::DoSearchRange(core::SeriesView query,
-                                           double radius) {
+                                           const core::RangePlan& plan) {
+  const double radius = plan.radius;
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -38,7 +38,10 @@ class RStarTree : public core::SearchMethod {
             .supports_epsilon = true,
             .leaf_visit_budget = true,
             .supports_persistence = true,
-            .shardable = true};
+            .shardable = true,
+            .intra_query_reason =
+                "R*-tree traversal has not been restructured onto the "
+                "shared engine; use --shards for parallel speedup"};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
@@ -51,7 +54,7 @@ class RStarTree : public core::SearchMethod {
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   struct Node;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
 
 #include "core/distance.h"
+#include "core/traversal.h"
 #include "io/index_codec.h"
 #include "transform/dft.h"
 #include "util/check.h"
@@ -311,13 +313,15 @@ core::KnnResult SfaTrie::DoSearchKnn(core::SeriesView query,
   util::WallTimer timer;
   core::KnnResult result;
   core::KnnHeap& heap = core::ScratchKnnHeap(plan.k);
-  heap.ShareBound(plan.shared_bound);
+  core::KnnWorkers workers(&heap, &result.stats, plan);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
   const auto q_word = quantizer_.Quantize(q_dft);
 
-  // ng-approximate descent along the query's word.
+  // ng-approximate descent along the query's word, always on the calling
+  // thread (worker 0) into the primary heap, so every worker starts from
+  // the descent's published bound.
   Node* node = root_.get();
   while (!node->is_leaf) {
     Node* next = node->children[q_word[node->depth]].get();
@@ -325,16 +329,18 @@ core::KnnResult SfaTrie::DoSearchKnn(core::SeriesView query,
     node = next;
   }
   const Node* home = node->is_leaf ? node : nullptr;
-  int64_t leaves_visited = 0;
+  std::vector<int64_t> leaves(workers.workers(), 0);
+  std::vector<uint8_t> stop(workers.workers(), 0);
   if (home != nullptr) {
     ++result.stats.nodes_visited;
     VisitLeaf(*home, order, plan, &heap, &result.stats);
-    ++leaves_visited;
+    leaves[0] = 1;
   }
 
   // Best-first traversal with the MBR lower bound; pruning against
   // bsf/(1+epsilon)^2 (plan.bound_scale) keeps every reported distance
-  // within (1+epsilon) of the truth (exact with the default plan).
+  // within (1+epsilon) of the truth (exact with the default plan). Caps
+  // and budgets only ever bind at width 1 (Execute's pure-exact gate).
   struct Item {
     double lb;
     const Node* node;
@@ -342,73 +348,99 @@ core::KnnResult SfaTrie::DoSearchKnn(core::SeriesView query,
       return lb > other.lb;
     }
   };
-  std::priority_queue<Item> pq;
-  pq.push({0.0, root_.get()});
-  while (!pq.empty() && !result.stats.budget_exhausted) {
-    const Item item = pq.top();
-    pq.pop();
-    if (item.lb >= heap.Bound() * plan.bound_scale) break;
-    ++result.stats.nodes_visited;
-    if (item.node->is_leaf) {
-      if (item.node != home) {
-        if (plan.LeafCapReached(leaves_visited, leaf_count_,
-                                &result.stats)) {
-          break;
+  core::BestFirstTraverse<Item>(
+      workers.workers(), {Item{0.0, root_.get()}},
+      [&](const Item& item, size_t w) {
+        return stop[w] != 0 || workers.stats(w).budget_exhausted ||
+               item.lb >= workers.heap(w).Bound() * plan.bound_scale;
+      },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        if (item.node->is_leaf) {
+          if (item.node != home) {
+            if (plan.LeafCapReached(leaves[w], leaf_count_, &stats)) {
+              stop[w] = 1;
+              return;
+            }
+            VisitLeaf(*item.node, order, plan, &workers.heap(w), &stats);
+            ++leaves[w];
+          }
+          return;
         }
-        VisitLeaf(*item.node, order, plan, &heap, &result.stats);
-        ++leaves_visited;
-      }
-      continue;
-    }
-    for (const auto& slot : item.node->children) {
-      if (slot == nullptr || slot->count == 0) continue;
-      const double lb = NodeLowerBound(q_dft, *slot);
-      ++result.stats.lower_bound_computations;
-      if (lb < heap.Bound() * plan.bound_scale) pq.push({lb, slot.get()});
-    }
-  }
+        for (const auto& slot : item.node->children) {
+          if (slot == nullptr || slot->count == 0) continue;
+          const double lb = NodeLowerBound(q_dft, *slot);
+          ++stats.lower_bound_computations;
+          if (lb < workers.heap(w).Bound() * plan.bound_scale) {
+            push({lb, slot.get()});
+          }
+        }
+      });
 
-  heap.ExtractSortedTo(&result.neighbors);
+  workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }
 
 core::RangeResult SfaTrie::DoSearchRange(core::SeriesView query,
-                                         double radius) {
+                                         const core::RangePlan& plan) {
   HYDRA_CHECK(root_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;
-  core::RangeCollector collector(radius * radius);
+  const double radius_sq = plan.radius * plan.radius;
+  core::RangeWorkers workers(radius_sq, &result.stats, plan.query_threads);
   const core::QueryOrder& order = core::ScratchQueryOrder(query);
   const size_t dims = quantizer_.dims();
   const auto q_dft = transform::PackedRealDft(query, dims, /*skip_dc=*/true);
 
-  std::vector<const Node*> stack = {root_.get()};
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    if (node->count == 0) continue;
-    ++result.stats.lower_bound_computations;
-    if (NodeLowerBound(q_dft, *node) > collector.Bound()) continue;
-    ++result.stats.nodes_visited;
-    if (node->is_leaf) {
-      io::ChargeLeafRead(node->ids.size(),
-                         data_->length() * sizeof(core::Value),
-                         &result.stats);
-      for (const core::SeriesId id : node->ids) {
-        const double d = order.Distance((*data_)[id], collector.Bound());
-        ++result.stats.distance_computations;
-        ++result.stats.raw_series_examined;
-        collector.Offer(id, d);
-      }
-      continue;
-    }
-    for (const auto& slot : node->children) {
-      if (slot != nullptr) stack.push_back(slot.get());
-    }
+  // Engine traversal with the fixed r^2 bound: nodes are bounded before
+  // they enter the frontier, so every counter is traversal-order
+  // independent and the parallel sweep charges exactly the serial totals.
+  struct Item {
+    double lb;
+    const Node* node;
+    bool operator<(const Item& other) const { return lb > other.lb; }
+  };
+  auto bounded = [&](const Node* node, core::SearchStats* stats)
+      -> std::optional<Item> {
+    if (node->count == 0) return std::nullopt;
+    ++stats->lower_bound_computations;
+    const double lb = NodeLowerBound(q_dft, *node);
+    if (lb > radius_sq) return std::nullopt;
+    return Item{lb, node};
+  };
+  std::vector<Item> seeds;
+  if (const auto root = bounded(root_.get(), &result.stats)) {
+    seeds.push_back(*root);
   }
+  core::BestFirstTraverse<Item>(
+      workers.workers(), seeds,
+      [](const Item&, size_t) { return false; },
+      [&](const Item& item, size_t w,
+          const std::function<void(Item)>& push) {
+        core::RangeCollector& collector = workers.collector(w);
+        core::SearchStats& stats = workers.stats(w);
+        ++stats.nodes_visited;
+        if (item.node->is_leaf) {
+          io::ChargeLeafRead(item.node->ids.size(),
+                             data_->length() * sizeof(core::Value), &stats);
+          for (const core::SeriesId id : item.node->ids) {
+            const double d = order.Distance((*data_)[id], collector.Bound());
+            ++stats.distance_computations;
+            ++stats.raw_series_examined;
+            collector.Offer(id, d);
+          }
+          return;
+        }
+        for (const auto& slot : item.node->children) {
+          if (slot == nullptr) continue;
+          if (const auto entry = bounded(slot.get(), &stats)) push(*entry);
+        }
+      });
 
-  result.matches = collector.TakeSorted();
+  workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
   return result;
 }

@@ -214,7 +214,8 @@ core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,
 }
 
 core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
-                                        double radius) {
+                                        const core::RangePlan& plan) {
+  const double radius = plan.radius;
   HYDRA_CHECK(data_ != nullptr);
   util::WallTimer timer;
   core::RangeResult result;

@@ -41,7 +41,10 @@ class VaFile : public core::SearchMethod {
             .serial_reason = "",
             .supports_epsilon = true,
             .supports_persistence = true,
-            .shardable = true};
+            .shardable = true,
+            .intra_query_reason =
+                "two-phase sequential VA scan has no traversal frontier "
+                "to share; use --shards for parallel speedup"};
   }
   core::Footprint footprint() const override;
   double MeanTlb(core::SeriesView query) const override;
@@ -54,7 +57,7 @@ class VaFile : public core::SearchMethod {
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   VaFileOptions options_;

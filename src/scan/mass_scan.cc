@@ -80,7 +80,8 @@ core::KnnResult MassScan::DoSearchKnn(core::SeriesView query,
 }
 
 core::RangeResult MassScan::DoSearchRange(core::SeriesView query,
-                                          double radius) {
+                                          const core::RangePlan& plan) {
+  const double radius = plan.radius;
   core::RangeResult result;
   core::RangeCollector collector(radius * radius);
   result.stats = ScanAll(query, core::KnnPlan{},

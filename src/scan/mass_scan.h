@@ -29,7 +29,10 @@ class MassScan : public core::SearchMethod {
                 "norms, cheaper to redo than to persist",
             .shard_reason =
                 "sequential scan: no index partition to build per shard — "
-                "the batch engine's --threads already parallelizes it"};
+                "the batch engine's --threads already parallelizes it",
+            .intra_query_reason =
+                "sequential scan has no traversal frontier to share; "
+                "batch --threads already parallelizes workloads"};
   }
 
  protected:
@@ -37,7 +40,7 @@ class MassScan : public core::SearchMethod {
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   /// Computes Fourier-domain distances for the first min(size, plan

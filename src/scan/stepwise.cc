@@ -152,7 +152,8 @@ core::KnnResult Stepwise::DoSearchKnn(core::SeriesView query,
 }
 
 core::RangeResult Stepwise::DoSearchRange(core::SeriesView query,
-                                          double radius) {
+                                          const core::RangePlan& plan) {
+  const double radius = plan.radius;
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;

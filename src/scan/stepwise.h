@@ -42,7 +42,10 @@ class Stepwise : public core::SearchMethod {
                 "to persist",
             .shard_reason =
                 "sequential scan: no index partition to build per shard — "
-                "the batch engine's --threads already parallelizes it"};
+                "the batch engine's --threads already parallelizes it",
+            .intra_query_reason =
+                "sequential scan has no traversal frontier to share; "
+                "batch --threads already parallelizes workloads"};
   }
 
  protected:
@@ -50,7 +53,7 @@ class Stepwise : public core::SearchMethod {
   core::KnnResult DoSearchKnn(core::SeriesView query,
                               const core::KnnPlan& plan) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   const core::Dataset* data_ = nullptr;

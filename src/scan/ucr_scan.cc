@@ -39,7 +39,8 @@ core::KnnResult UcrScan::DoSearchKnn(core::SeriesView query,
 }
 
 core::RangeResult UcrScan::DoSearchRange(core::SeriesView query,
-                                         double radius) {
+                                         const core::RangePlan& plan) {
+  const double radius = plan.radius;
   HYDRA_CHECK(data_ != nullptr);
   HYDRA_CHECK(query.size() == data_->length());
   util::WallTimer timer;

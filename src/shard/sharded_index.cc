@@ -322,10 +322,10 @@ core::KnnResult ShardedIndex::DoSearchKnnNg(core::SeriesView query,
 }
 
 core::RangeResult ShardedIndex::DoSearchRange(core::SeriesView query,
-                                              double radius) {
+                                              const core::RangePlan& plan) {
   std::vector<core::RangeResult> parts(shards_.size());
   ForEachShard([&](size_t i) {
-    parts[i] = ComponentSearchRange(shards_[i].get(), query, radius);
+    parts[i] = ComponentSearchRange(shards_[i].get(), query, plan);
   });
   util::WallTimer merge_timer;
   core::RangeResult result;

@@ -112,7 +112,7 @@ class ShardedIndex : public core::SearchMethod {
                               const core::KnnPlan& plan) override;
   core::KnnResult DoSearchKnnNg(core::SeriesView query, size_t k) override;
   core::RangeResult DoSearchRange(core::SeriesView query,
-                                  double radius) override;
+                                  const core::RangePlan& plan) override;
 
  private:
   /// Cuts `data` into the given (begin, count) slices and instantiates the

@@ -1,0 +1,138 @@
+// SharedBound / KnnHeap::ShareBound contract: the cross-worker bound is a
+// monotone CAS-min that heaps publish into and read through; Reset
+// detaches it (a bound belongs to one query), and attach/publish stay
+// correct under concurrent publishers — the invariant both the sharded
+// fan-out and the intra-query traversal engine lean on.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/knn.h"
+
+namespace hydra::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SharedBoundTest, TightenIsMonotoneMin) {
+  SharedBound bound;
+  EXPECT_EQ(bound.Load(), kInf);
+  bound.Tighten(9.0);
+  EXPECT_EQ(bound.Load(), 9.0);
+  bound.Tighten(25.0);  // looser: must not raise the bound
+  EXPECT_EQ(bound.Load(), 9.0);
+  bound.Tighten(4.0);
+  EXPECT_EQ(bound.Load(), 4.0);
+}
+
+TEST(SharedBoundTest, AttachPublishesExistingKth) {
+  KnnHeap heap(2);
+  heap.Offer(0, 16.0);
+  heap.Offer(1, 4.0);
+  SharedBound bound;
+  // The heap is already full, so attaching must publish its k-th distance
+  // immediately (a late-attached worker must not prune against +inf).
+  heap.ShareBound(&bound);
+  EXPECT_EQ(bound.Load(), 16.0);
+}
+
+TEST(SharedBoundTest, BoundReadsTheTighterOfLocalAndShared) {
+  SharedBound bound;
+  KnnHeap heap(1);
+  heap.ShareBound(&bound);
+  heap.Offer(0, 100.0);
+  EXPECT_EQ(heap.Bound(), 100.0);
+  // Another worker publishes a tighter k-th: this heap prunes against it.
+  bound.Tighten(36.0);
+  EXPECT_EQ(heap.Bound(), 36.0);
+  // Offer semantics are unchanged: a candidate between the shared and the
+  // local bound still replaces the local top (the heap stays this
+  // worker's true top-k; the merge discards the junk).
+  heap.Offer(1, 64.0);
+  EXPECT_EQ(heap.Bound(), 36.0);
+}
+
+TEST(SharedBoundTest, ResetDetachesTheSharedBound) {
+  SharedBound bound;
+  KnnHeap heap(1);
+  heap.ShareBound(&bound);
+  heap.Offer(0, 49.0);
+  EXPECT_EQ(bound.Load(), 49.0);
+
+  heap.Reset(1);
+  // Detached: improvements are no longer published...
+  heap.Offer(1, 9.0);
+  EXPECT_EQ(bound.Load(), 49.0);
+  EXPECT_EQ(heap.Bound(), 9.0);
+  // ...and a foreign Tighten is no longer read.
+  bound.Tighten(1.0);
+  EXPECT_EQ(heap.Bound(), 9.0);
+}
+
+TEST(SharedBoundTest, ConcurrentPublishersConvergeToTheGlobalMin) {
+  // N workers, each with a private heap attached to one shared bound,
+  // offer disjoint distance streams concurrently — the traversal engine's
+  // exact shape. The bound must end at the global minimum k-th distance
+  // and every interleaving must keep each worker's Bound() sound
+  // (>= the global k-th, never below it).
+  constexpr int kWorkers = 8;
+  constexpr int kOffersPerWorker = 2000;
+  SharedBound bound;
+  std::vector<KnnHeap> heaps(kWorkers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    heaps[w].Reset(1);
+    heaps[w].ShareBound(&bound);
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([w, &heaps, &bound] {
+      for (int i = 0; i < kOffersPerWorker; ++i) {
+        // Distinct values across all workers; global minimum is 1.0
+        // (worker 0, i = kOffersPerWorker - 1).
+        const double dist =
+            static_cast<double>(kOffersPerWorker - i) +
+            static_cast<double>(w) / kWorkers;
+        heaps[w].Offer(static_cast<SeriesId>(w * kOffersPerWorker + i),
+                       dist);
+        // Monotone soundness mid-flight: the shared bound can never be
+        // tighter than the tightest value any worker has offered so far,
+        // which is bounded below by 1.0 throughout.
+        ASSERT_GE(bound.Load(), 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bound.Load(), 1.0);
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(heaps[w].Bound(), 1.0) << "worker " << w;
+  }
+}
+
+TEST(SharedBoundTest, ConcurrentAttachAndPublishIsSafe) {
+  // Workers attach mid-stream (ShareBound on a full heap publishes) while
+  // others are already publishing — the engine's width-N startup path.
+  constexpr int kWorkers = 8;
+  SharedBound bound;
+  std::vector<KnnHeap> heaps(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) heaps[w].Reset(1);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([w, &heaps, &bound] {
+      heaps[w].Offer(static_cast<SeriesId>(w), 100.0 + w);
+      heaps[w].ShareBound(&bound);  // full heap: publishes 100.0 + w
+      heaps[w].Offer(static_cast<SeriesId>(kWorkers + w), 50.0 + w);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bound.Load(), 50.0);
+  for (int w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(heaps[w].Bound(), 50.0) << "worker " << w;
+  }
+}
+
+}  // namespace
+}  // namespace hydra::core

@@ -31,6 +31,16 @@
 // parallelism lives inside each query). Unshardable methods (the scans)
 // are refused with the traits-derived reason.
 //
+// `query` and `range` accept --query-threads N: N workers drain one
+// query's traversal frontier cooperatively (the shared engine in
+// src/core/traversal.h). Only the five tree methods advertise the trait
+// (`hydra methods`, intra-query column); others are refused with the
+// traits-derived reason. Exact k-NN and range answers are bit-identical
+// to the serial traversal at any worker count; approximate and budgeted
+// plans keep their traversal serial (their answers depend on visit
+// order), which is reported as a note. Composes with --shards: every
+// shard's workers share one cross-shard bound.
+//
 // `query` additionally accepts the QuerySpec flags:
 //   --mode exact|ng|epsilon|delta-epsilon   quality guarantee requested
 //   --epsilon X      relative error bound (epsilon / delta-epsilon modes)
@@ -75,10 +85,13 @@ int Usage() {
                "  hydra query <data.bin> <method> <k> [queries=10] "
                "[--threads N]\n"
                "              [--index <dir>] [--shards N] "
-               "[--mode exact|ng|epsilon|delta-epsilon] [--epsilon X]\n"
+               "[--query-threads N]\n"
+               "              [--mode exact|ng|epsilon|delta-epsilon] "
+               "[--epsilon X]\n"
                "              [--delta X] [--max-leaves N] [--max-raw N]\n"
                "  hydra range <data.bin> <method> <radius> [queries=10] "
-               "[--index <dir>] [--shards N] [--threads N]\n"
+               "[--index <dir>] [--shards N] [--threads N] "
+               "[--query-threads N]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
                "  hydra methods\n"
                "\n"
@@ -91,7 +104,15 @@ int Usage() {
                "the batch concurrency. A sharded index persists as one "
                "container whose\n"
                "shard count is fixed at build time; open it with the same "
-               "--shards flag.\n");
+               "--shards flag.\n"
+               "\n"
+               "--query-threads N answers each query with N workers "
+               "draining one shared\n"
+               "traversal frontier (tree methods only; exact and range "
+               "answers are\n"
+               "bit-identical to the serial traversal). Composes with "
+               "--shards: every\n"
+               "shard's workers tighten one cross-shard bound.\n");
   return 2;
 }
 
@@ -354,6 +375,40 @@ bool ExtractThreads(std::vector<char*>* args, uint64_t* threads) {
   return true;
 }
 
+/// Extracts a `--query-threads N` option (anywhere in argv) into
+/// `*query_threads` and removes it from `*args`. Returns false (after
+/// printing an error) on a missing, zero, or absurd value; `*query_threads`
+/// stays 1 (= serial traversal) when the flag is absent.
+bool ExtractQueryThreads(std::vector<char*>* args, uint64_t* query_threads) {
+  *query_threads = 1;
+  const char* value = nullptr;
+  if (!ExtractOption(args, "--query-threads", &value)) return false;
+  if (value == nullptr) return true;
+  constexpr uint64_t kMaxQueryThreads = 1024;
+  if (!ParseUint(value, query_threads) || *query_threads == 0 ||
+      *query_threads > kMaxQueryThreads) {
+    std::fprintf(stderr,
+                 "error: --query-threads must be an integer in [1, %llu], "
+                 "got '%s'\n",
+                 static_cast<unsigned long long>(kMaxQueryThreads), value);
+    return false;
+  }
+  return true;
+}
+
+/// The traits-derived --query-threads gate shared by `query` and `range`:
+/// refuses (exit 1 path, returns false) a width > 1 on a method whose
+/// traversal does not run on the shared engine, printing the method's own
+/// reason — never a silently serial "parallel" run.
+bool CheckQueryThreads(const core::MethodTraits& traits,
+                       const std::string& method_name,
+                       uint64_t query_threads) {
+  if (query_threads <= 1 || traits.intra_query_parallel) return true;
+  std::fprintf(stderr, "error: %s does not support --query-threads (%s)\n",
+               method_name.c_str(), traits.intra_query_reason.c_str());
+  return false;
+}
+
 int CmdGen(int argc, char** argv) {
   if (argc != 7) return Usage();
   const std::string family = argv[2];
@@ -439,7 +494,8 @@ void PrintShardLayout(const core::SearchMethod& method, uint64_t threads) {
 }
 
 int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
-             const QueryFlags& flags, const char* index_dir) {
+             uint64_t query_threads, const QueryFlags& flags,
+             const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -459,6 +515,25 @@ int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
   core::QuerySpec spec = core::QuerySpec::Knn(k);
   if (!BuildQuerySpec(flags, traits, method->name(), &spec)) {
     return 1;
+  }
+  if (!CheckQueryThreads(traits, method->name(), query_threads)) return 1;
+  spec.query_threads = static_cast<size_t>(query_threads);
+  if (query_threads > 1 &&
+      (spec.mode != core::QualityMode::kExact || spec.has_budget())) {
+    // Approximate and budgeted answers depend on visit order, so the
+    // engine keeps their traversal serial — note it rather than let the
+    // user believe the relaxed run was parallel.
+    std::printf("note: --query-threads applies to pure exact plans only; "
+                "this %s%s run keeps its traversal serial\n",
+                core::QualityModeName(spec.mode),
+                spec.has_budget() ? " budgeted" : "");
+  }
+  if (query_threads > 1 && threads > 1 && shards == 0) {
+    std::printf("note: %llu batch threads x %llu traversal workers = %llu "
+                "total threads at peak\n",
+                static_cast<unsigned long long>(threads),
+                static_cast<unsigned long long>(query_threads),
+                static_cast<unsigned long long>(threads * query_threads));
   }
   // Honest refusal before touching the data file: --index on a method
   // that cannot persist an index could never succeed.
@@ -514,6 +589,15 @@ int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
   if (threads > 1 && shards == 0) {
     if (!batch.serial_reason.empty()) {
       std::printf("ran serially: %s\n", batch.serial_reason.c_str());
+    } else if (batch.queries.size() == 1) {
+      // --threads parallelizes across queries; with one query it silently
+      // does nothing — say so instead of implying a concurrent run.
+      std::printf("note: --threads parallelizes across queries and a "
+                  "single-query batch runs serially; use --query-threads "
+                  "to parallelize within the query%s\n",
+                  traits.intra_query_parallel
+                      ? ""
+                      : " (not supported by this method)");
     } else {
       std::printf("%zu queries on %zu threads: %.3fs wall (%.1f queries/s)\n",
                   batch.queries.size(), batch.threads_used, wall,
@@ -524,7 +608,7 @@ int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
 }
 
 int CmdRange(int argc, char** argv, uint64_t threads, uint64_t shards,
-             const char* index_dir) {
+             uint64_t query_threads, const char* index_dir) {
   if (argc < 5) return Usage();
   // Validate the cheap arguments before reading the (possibly huge) file.
   if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
@@ -542,6 +626,7 @@ int CmdRange(int argc, char** argv, uint64_t threads, uint64_t shards,
   auto method = MakeMethod(argv[3], shards, threads);
   if (method == nullptr) return 1;
   const core::MethodTraits traits = method->traits();
+  if (!CheckQueryThreads(traits, method->name(), query_threads)) return 1;
   if (index_dir != nullptr && !traits.supports_persistence) {
     std::fprintf(stderr, "error: %s does not support --index (%s)\n",
                  method->name().c_str(), traits.persistence_reason.c_str());
@@ -556,10 +641,11 @@ int CmdRange(int argc, char** argv, uint64_t threads, uint64_t shards,
 
   if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
   if (shards > 0) PrintShardLayout(*method, threads);
+  core::QuerySpec spec = core::QuerySpec::Range(radius);
+  spec.query_threads = static_cast<size_t>(query_threads);
   const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
   for (size_t q = 0; q < probe.queries.size(); ++q) {
-    const core::QueryResult r =
-        method->Execute(probe.queries[q], core::QuerySpec::Range(radius));
+    const core::QueryResult r = method->Execute(probe.queries[q], spec);
     std::printf("query %2zu: %zu series within r=%.3f [examined %lld]\n", q,
                 r.neighbors.size(), radius,
                 static_cast<long long>(r.stats.raw_series_examined));
@@ -642,8 +728,8 @@ int CmdMethods() {
   // The full traits matrix: quality modes, batch concurrency, and index
   // persistence, each derived from the method's own traits() so this
   // listing can never drift from what Execute/Save/Open actually accept.
-  util::Table table(
-      {"method", "modes", "concurrent", "persistent", "shardable"});
+  util::Table table({"method", "modes", "concurrent", "persistent",
+                     "shardable", "intra-query"});
   for (const std::string& name : bench::AllMethodNames()) {
     const core::MethodTraits traits = bench::CreateMethod(name)->traits();
     std::string modes = "exact";
@@ -652,7 +738,8 @@ int CmdMethods() {
     if (traits.supports_delta_epsilon) modes += ",delta-epsilon";
     table.AddRow({name, modes, traits.concurrent_queries ? "yes" : "no",
                   traits.supports_persistence ? "yes" : "no",
-                  traits.shardable ? "yes" : "no"});
+                  traits.shardable ? "yes" : "no",
+                  traits.intra_query_parallel ? "yes" : "no"});
   }
   table.Print("method traits");
   return 0;
@@ -667,6 +754,10 @@ int Main(int argc, char** argv) {
   const bool had_threads = args.size() != before;
   uint64_t shards = 0;
   if (!ExtractShards(&args, &shards)) return 1;
+  uint64_t query_threads = 1;
+  const size_t before_qt = args.size();
+  if (!ExtractQueryThreads(&args, &query_threads)) return 1;
+  const bool had_query_threads = args.size() != before_qt;
   QueryFlags flags;
   const size_t before_spec = args.size();
   if (!ExtractOption(&args, "--mode", &flags.mode) ||
@@ -699,6 +790,14 @@ int Main(int argc, char** argv) {
                          "--shards)\n");
     return 1;
   }
+  // --query-threads shapes a single query's traversal, which only the
+  // query-answering commands run; swallowing it elsewhere would let
+  // users believe e.g. a build was traversal-parallel.
+  if (had_query_threads && cmd != "query" && cmd != "range") {
+    std::fprintf(stderr, "error: --query-threads is only supported by "
+                         "'query' and 'range'\n");
+    return 1;
+  }
   // The QuerySpec flags only shape k-NN queries; swallowing them
   // elsewhere would let users believe e.g. a range query was approximate.
   if (had_spec_flags && cmd != "query") {
@@ -716,10 +815,12 @@ int Main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(n, args.data());
   if (cmd == "build") return CmdBuild(n, args.data(), threads, shards);
   if (cmd == "query") {
-    return CmdQuery(n, args.data(), threads, shards, flags, index_dir);
+    return CmdQuery(n, args.data(), threads, shards, query_threads, flags,
+                    index_dir);
   }
   if (cmd == "range") {
-    return CmdRange(n, args.data(), threads, shards, index_dir);
+    return CmdRange(n, args.data(), threads, shards, query_threads,
+                    index_dir);
   }
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
