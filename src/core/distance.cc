@@ -5,39 +5,20 @@
 #include <cstdint>
 #include <numeric>
 
+#include "core/simd/kernels.h"
 #include "util/check.h"
 
 namespace hydra::core {
 
 double SquaredEuclidean(SeriesView a, SeriesView b) {
   HYDRA_DCHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::ActiveKernels().euclidean_sq(a.data(), b.data(), a.size());
 }
 
 double SquaredEuclideanEarlyAbandon(SeriesView a, SeriesView b, double bound) {
   HYDRA_DCHECK(a.size() == b.size());
-  double acc = 0.0;
-  size_t i = 0;
-  const size_t n = a.size();
-  // Check the abandon condition every 8 dimensions to amortize the branch.
-  constexpr size_t kStride = 8;
-  while (i + kStride <= n) {
-    for (size_t j = 0; j < kStride; ++j, ++i) {
-      const double d = static_cast<double>(a[i]) - b[i];
-      acc += d * d;
-    }
-    if (acc > bound) return acc;
-  }
-  for (; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::ActiveKernels().euclidean_sq_abandon(a.data(), b.data(),
+                                                    a.size(), bound);
 }
 
 void QueryOrder::Reset(SeriesView query) {
@@ -47,6 +28,12 @@ void QueryOrder::Reset(SeriesView query) {
   std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
     return std::fabs(query_[a]) > std::fabs(query_[b]);
   });
+  // Contiguous copy in visit order: the kernels stream it linearly and
+  // only gather through order_ on the candidate side.
+  ordered_query_.resize(query.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    ordered_query_[i] = query_[order_[i]];
+  }
 }
 
 QueryOrder& ScratchQueryOrder(SeriesView query) {
@@ -57,24 +44,9 @@ QueryOrder& ScratchQueryOrder(SeriesView query) {
 
 double QueryOrder::Distance(SeriesView candidate, double bound) const {
   HYDRA_DCHECK(candidate.size() == query_.size());
-  double acc = 0.0;
-  const size_t n = order_.size();
-  size_t i = 0;
-  constexpr size_t kStride = 8;
-  while (i + kStride <= n) {
-    for (size_t j = 0; j < kStride; ++j, ++i) {
-      const uint32_t d = order_[i];
-      const double diff = static_cast<double>(query_[d]) - candidate[d];
-      acc += diff * diff;
-    }
-    if (acc > bound) return acc;
-  }
-  for (; i < n; ++i) {
-    const uint32_t d = order_[i];
-    const double diff = static_cast<double>(query_[d]) - candidate[d];
-    acc += diff * diff;
-  }
-  return acc;
+  return simd::ActiveKernels().euclidean_sq_reordered(
+      ordered_query_.data(), candidate.data(), order_.data(), order_.size(),
+      bound);
 }
 
 }  // namespace hydra::core

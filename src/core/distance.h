@@ -1,5 +1,7 @@
 // Euclidean distance kernels with the paper's shared optimizations:
 // (a) no square root, (b) early abandoning, (c) reordered early abandoning.
+// All three dispatch to the process-wide core::simd kernel set (see
+// core/simd/kernels.h for dispatch and the numerical contract).
 #ifndef HYDRA_CORE_DISTANCE_H_
 #define HYDRA_CORE_DISTANCE_H_
 
@@ -46,8 +48,9 @@ class QueryOrder {
   const std::vector<uint32_t>& order() const { return order_; }
 
  private:
-  std::vector<Value> query_;     // copied query values
-  std::vector<uint32_t> order_;  // dimension visit order
+  std::vector<Value> query_;          // copied query values
+  std::vector<uint32_t> order_;       // dimension visit order
+  std::vector<Value> ordered_query_;  // query_[order_[i]], for the kernels
 };
 
 /// Thread-local reusable QueryOrder, Reset to `query`. Like ScratchKnnHeap:

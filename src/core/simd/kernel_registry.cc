@@ -1,0 +1,127 @@
+// Kernel-set registry and runtime dispatch: assembles the compiled sets,
+// answers cpuid support queries, and resolves the active set once per
+// process (HYDRA_KERNELS override, else best supported). Compiled without
+// ISA flags so it runs on any CPU the binary targets.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/simd/kernels.h"
+#include "core/simd/kernels_internal.h"
+
+namespace hydra::core::simd {
+namespace {
+
+// The active set; null until first resolution. Relaxed/acquire-release is
+// enough: resolution is deterministic, so a benign startup race can only
+// store the same pointer twice.
+std::atomic<const KernelSet*> g_active{nullptr};
+
+std::string JoinSupportedNames() {
+  std::string names;
+  for (const KernelSet* set : SupportedKernelSets()) {
+    if (!names.empty()) names += ", ";
+    names += set->name;
+  }
+  return names;
+}
+
+const KernelSet* ResolveDefault() {
+  const char* env = std::getenv("HYDRA_KERNELS");
+  if (env != nullptr && env[0] != '\0') {
+    const KernelSet* set = FindKernelSet(env);
+    if (set == nullptr || !KernelSetSupported(*set)) {
+      // Library-level last resort for misuse that bypassed the CLI (which
+      // pre-validates the variable and exits cleanly instead).
+      std::fprintf(stderr,
+                   "hydra: HYDRA_KERNELS='%s' is %s; supported sets: %s\n",
+                   env, set == nullptr ? "unknown" : "not supported by this CPU",
+                   JoinSupportedNames().c_str());
+      std::abort();
+    }
+    return set;
+  }
+  return SupportedKernelSets().back();  // preference order: best is last
+}
+
+}  // namespace
+
+const KernelSet& ScalarKernels() { return internal::ScalarKernelsImpl(); }
+
+const std::vector<const KernelSet*>& AllKernelSets() {
+  static const std::vector<const KernelSet*>* sets = [] {
+    auto* all = new std::vector<const KernelSet*>;
+    all->push_back(&internal::ScalarKernelsImpl());
+    all->push_back(&internal::PortableKernelsImpl());
+    if (const KernelSet* avx2 = internal::Avx2KernelsImpl()) {
+      all->push_back(avx2);
+    }
+    if (const KernelSet* avx512 = internal::Avx512KernelsImpl()) {
+      all->push_back(avx512);
+    }
+    return all;
+  }();
+  return *sets;
+}
+
+std::vector<const KernelSet*> SupportedKernelSets() {
+  std::vector<const KernelSet*> supported;
+  for (const KernelSet* set : AllKernelSets()) {
+    if (KernelSetSupported(*set)) supported.push_back(set);
+  }
+  return supported;
+}
+
+const KernelSet* FindKernelSet(std::string_view name) {
+  for (const KernelSet* set : AllKernelSets()) {
+    if (name == set->name) return set;
+  }
+  return nullptr;
+}
+
+bool KernelSetSupported(const KernelSet& set) {
+  if (std::strcmp(set.name, "scalar") == 0 ||
+      std::strcmp(set.name, "portable") == 0) {
+    return true;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  if (std::strcmp(set.name, "avx2") == 0) {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  if (std::strcmp(set.name, "avx512") == 0) {
+    // The raw kernels need F+DQ; the shared summary kernels need AVX2+FMA.
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+           __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+  }
+#endif
+  return false;
+}
+
+const KernelSet& ActiveKernels() {
+  const KernelSet* set = g_active.load(std::memory_order_acquire);
+  if (set == nullptr) {
+    set = ResolveDefault();
+    g_active.store(set, std::memory_order_release);
+  }
+  return *set;
+}
+
+util::Status UseKernels(std::string_view name) {
+  const KernelSet* set = FindKernelSet(name);
+  if (set == nullptr) {
+    return util::Status::Error("unknown kernel set '" + std::string(name) +
+                               "' (supported: " + JoinSupportedNames() + ")");
+  }
+  if (!KernelSetSupported(*set)) {
+    return util::Status::Error("kernel set '" + std::string(name) +
+                               "' is not supported by this CPU (supported: " +
+                               JoinSupportedNames() + ")");
+  }
+  g_active.store(set, std::memory_order_release);
+  return util::Status::Ok();
+}
+
+}  // namespace hydra::core::simd

@@ -1,0 +1,145 @@
+// Runtime-dispatched kernels for the distance and lower-bound hot loops.
+//
+// Every kernel family ships in up to four implementations ("kernel sets"):
+//   scalar   — the permanent reference, verbatim the pre-SIMD loops.
+//   portable — 4-wide stripe-unrolled plain C++ (any CPU, any ISA).
+//   avx2     — 256-bit AVX2+FMA (8 floats / 4 doubles per step, gathers).
+//   avx512   — 512-bit AVX-512 F+DQ raw-series kernels (summary kernels
+//              reuse the AVX2 table forms, which are already memory-bound).
+//
+// Dispatch is resolved once per process from cpuid (best supported set
+// wins), overridable via the HYDRA_KERNELS environment variable or
+// UseKernels() (the CLI's --kernels flag). The scalar set is always
+// available and always the conformance baseline.
+//
+// Numerical contract (pinned by tests/unit/kernel_conformance_test.cc):
+//  - Summary lower-bound kernels (sum_sq_diff, box_dist_sq, isax_mindist_sq,
+//    sfa_lb_sq, va_lb_sq, eapca_node_lb_sq) preserve the scalar reduction
+//    order and are bit-identical to the reference in every set. Pruning
+//    decisions therefore never depend on the dispatch level.
+//  - Raw-series kernels (euclidean_sq, euclidean_sq_abandon,
+//    euclidean_sq_reordered) may use multiple accumulators; sets with
+//    raw_order_preserved == false agree with the reference to relative
+//    error <= 16 * n * 2^-53 (all terms are nonnegative, so the sum is
+//    perfectly conditioned and lane reassociation is the only error
+//    source).
+//  - Within any one set, euclidean_sq_abandon(a, b, n, +inf) is
+//    bit-identical to euclidean_sq(a, b, n), and a non-abandoned return
+//    (<= bound) always equals the full distance of that set.
+#ifndef HYDRA_CORE_SIMD_KERNELS_H_
+#define HYDRA_CORE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace hydra::core::simd {
+
+/// One dispatchable implementation of every hot kernel. All pointers are
+/// always non-null; sets that have no specialized form for a kernel alias
+/// a lower level's function.
+struct KernelSet {
+  /// Stable identifier ("scalar", "portable", "avx2", "avx512") accepted
+  /// by --kernels / HYDRA_KERNELS.
+  const char* name;
+
+  /// True when the raw-series kernels reduce in scalar order, making them
+  /// bit-identical to the reference (summary kernels always are).
+  bool raw_order_preserved;
+
+  /// Plain squared Euclidean distance over `n` float values.
+  double (*euclidean_sq)(const Value* a, const Value* b, size_t n);
+
+  /// Early-abandoning squared Euclidean: returns a value > `bound` once a
+  /// blockwise partial sum exceeds it (that value is NOT the distance);
+  /// otherwise returns exactly euclidean_sq(a, b, n) of the same set.
+  double (*euclidean_sq_abandon)(const Value* a, const Value* b, size_t n,
+                                 double bound);
+
+  /// Reordered early abandon: dimension i contributes
+  /// (q_ordered[i] - candidate[order[i]])^2, visiting i in ascending order
+  /// (callers pre-sort `order` by decreasing |q|). Same abandon semantics
+  /// as euclidean_sq_abandon.
+  double (*euclidean_sq_reordered)(const Value* q_ordered,
+                                   const Value* candidate,
+                                   const uint32_t* order, size_t n,
+                                   double bound);
+
+  /// sum_i (a[i] - b[i])^2 over doubles — the PAA lower-bound core
+  /// (callers scale by points-per-segment). Order-preserving in every set.
+  double (*sum_sq_diff)(const double* a, const double* b, size_t n);
+
+  /// Squared distance from point `q` to the box [lo, hi] per dimension:
+  /// sum_i max(lo[i]-q[i], q[i]-hi[i], 0)^2. Accepts +/-inf box edges.
+  /// Order-preserving in every set. Backs the SFA-trie and R*-tree MBR
+  /// bounds.
+  double (*box_dist_sq)(const double* q, const double* lo, const double* hi,
+                        size_t n);
+
+  /// iSAX MINDIST core (unscaled): per segment s, distance from paa_q[s]
+  /// to the breakpoint interval of symbols[s] at bits[s] resolution, via
+  /// the flat nested tables (entry (1 << bits) - 1 + symbol; see
+  /// SaxBreakpoints::FlatLower). Segments with bits == 0 contribute 0.
+  /// Order-preserving in every set.
+  double (*isax_mindist_sq)(const double* paa_q, const uint8_t* symbols,
+                            const uint8_t* bits, size_t segments,
+                            const double* flat_lower,
+                            const double* flat_upper);
+
+  /// SFA lower-bound core: per dimension d, distance from q_dft[d] to the
+  /// bin [edges[d*stride + word[d]], edges[d*stride + word[d] + 1]] of a
+  /// padded row layout (row = [-inf, bins..., +inf], stride = alphabet+1;
+  /// see SfaQuantizer::FlatEdges). Order-preserving in every set.
+  double (*sfa_lb_sq)(const double* q_dft, const uint8_t* word, size_t dims,
+                      const double* edges, size_t stride);
+
+  /// VA+ cell lower-bound core: per dimension d, distance from q_dft[d] to
+  /// [edges[offsets[d] + cells[d]], edges[offsets[d] + cells[d] + 1]]
+  /// (see VaPlusQuantizer::FlatEdges). Order-preserving in every set.
+  double (*va_lb_sq)(const double* q_dft, const uint16_t* cells, size_t dims,
+                     const double* edges, const uint32_t* offsets);
+
+  /// EAPCA node lower bound: per segment s of the cumulative-`ends`
+  /// segmentation, len_s * (dist(q_mean, mean range)^2 +
+  /// dist(q_std, std range)^2). `q_stats` is {mean, stddev} pairs
+  /// (stride 2), `env` is {min_mean, max_mean, min_std, max_std} quads
+  /// (stride 4). Order-preserving in every set.
+  double (*eapca_node_lb_sq)(const double* q_stats, const double* env,
+                             const uint32_t* ends, size_t segments);
+};
+
+/// The reference set (always supported, never changes behavior).
+const KernelSet& ScalarKernels();
+
+/// Every set compiled into this binary, in preference order
+/// (scalar, portable, then ISA-specific sets). All entries are non-null;
+/// ISA sets are absent on targets where they cannot be compiled.
+const std::vector<const KernelSet*>& AllKernelSets();
+
+/// The compiled sets this CPU can actually execute, in preference order
+/// (the last entry is the default dispatch choice).
+std::vector<const KernelSet*> SupportedKernelSets();
+
+/// Looks up a compiled set by name; nullptr when unknown.
+const KernelSet* FindKernelSet(std::string_view name);
+
+/// True when the current CPU can execute `set`.
+bool KernelSetSupported(const KernelSet& set);
+
+/// The active set. First use resolves it: HYDRA_KERNELS (aborts with a
+/// clear message when unknown/unsupported — the CLI pre-validates to turn
+/// that into a clean exit), else the best supported set.
+const KernelSet& ActiveKernels();
+
+/// Forces the active set by name (the --kernels flag). Errors when the
+/// name is unknown or the CPU cannot execute it; the active set is then
+/// unchanged.
+util::Status UseKernels(std::string_view name);
+
+}  // namespace hydra::core::simd
+
+#endif  // HYDRA_CORE_SIMD_KERNELS_H_

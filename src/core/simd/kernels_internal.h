@@ -1,0 +1,67 @@
+// Internal declarations shared by the kernel translation units: concrete
+// kernel functions (so sets can alias a lower level's implementation and
+// wide sets can fall back to scalar on short inputs) and the per-ISA set
+// providers the registry assembles. Not part of the public surface.
+#ifndef HYDRA_CORE_SIMD_KERNELS_INTERNAL_H_
+#define HYDRA_CORE_SIMD_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/simd/kernels.h"
+#include "core/types.h"
+
+namespace hydra::core::simd::internal {
+
+// Reference kernels (kernels_scalar.cc) — verbatim the pre-SIMD loops.
+double ScalarEuclideanSq(const Value* a, const Value* b, size_t n);
+double ScalarEuclideanSqAbandon(const Value* a, const Value* b, size_t n,
+                                double bound);
+double ScalarEuclideanSqReordered(const Value* q_ordered,
+                                  const Value* candidate,
+                                  const uint32_t* order, size_t n,
+                                  double bound);
+double ScalarSumSqDiff(const double* a, const double* b, size_t n);
+double ScalarBoxDistSq(const double* q, const double* lo, const double* hi,
+                       size_t n);
+double ScalarIsaxMinDistSq(const double* paa_q, const uint8_t* symbols,
+                           const uint8_t* bits, size_t segments,
+                           const double* flat_lower, const double* flat_upper);
+double ScalarSfaLbSq(const double* q_dft, const uint8_t* word, size_t dims,
+                     const double* edges, size_t stride);
+double ScalarVaLbSq(const double* q_dft, const uint16_t* cells, size_t dims,
+                    const double* edges, const uint32_t* offsets);
+double ScalarEapcaNodeLbSq(const double* q_stats, const double* env,
+                           const uint32_t* ends, size_t segments);
+
+// AVX2 summary kernels (kernels_avx2.cc) — also used by the AVX-512 set,
+// whose extra width does not pay for these short, gather-bound loops.
+// Declared unconditionally; only referenced when the AVX2 set exists.
+double Avx2SumSqDiff(const double* a, const double* b, size_t n);
+double Avx2BoxDistSq(const double* q, const double* lo, const double* hi,
+                     size_t n);
+double Avx2IsaxMinDistSq(const double* paa_q, const uint8_t* symbols,
+                         const uint8_t* bits, size_t segments,
+                         const double* flat_lower, const double* flat_upper);
+double Avx2SfaLbSq(const double* q_dft, const uint8_t* word, size_t dims,
+                   const double* edges, size_t stride);
+double Avx2VaLbSq(const double* q_dft, const uint16_t* cells, size_t dims,
+                  const double* edges, const uint32_t* offsets);
+double Avx2EapcaNodeLbSq(const double* q_stats, const double* env,
+                         const uint32_t* ends, size_t segments);
+
+// Set providers: nullptr when the set could not be compiled for this
+// target (non-x86 builds).
+const KernelSet& ScalarKernelsImpl();
+const KernelSet& PortableKernelsImpl();
+const KernelSet* Avx2KernelsImpl();
+const KernelSet* Avx512KernelsImpl();
+
+/// Reordered (gather-based) kernels fall back to the scalar loop below
+/// this width: the gather setup only pays off on wide series, and the
+/// existing scalar-path tests pin behavior at short widths.
+inline constexpr size_t kMinGatherWidth = 48;
+
+}  // namespace hydra::core::simd::internal
+
+#endif  // HYDRA_CORE_SIMD_KERNELS_INTERNAL_H_

@@ -1,0 +1,126 @@
+// The portable kernel set: 4-wide stripe-unrolled raw-series kernels in
+// plain C++ (no intrinsics), compiled with -ffp-contract=off. Exists so
+// the multi-accumulator reduction shape is exercised on every platform,
+// including targets where the ISA sets cannot be compiled. Summary
+// lower-bound kernels alias the scalar reference — they are required to be
+// order-preserving, and without intrinsics there is nothing to gain from
+// restating the loop.
+#include "core/simd/kernels.h"
+#include "core/simd/kernels_internal.h"
+
+namespace hydra::core::simd::internal {
+namespace {
+
+// One 4-wide stripe step: acc[j] += (a[i+j] - b[i+j])^2. Shared by the
+// plain and abandoning kernels so abandon(+inf) is bit-identical to plain.
+inline void Stripe4(const Value* a, const Value* b, size_t i, double* acc) {
+  const double d0 = static_cast<double>(a[i + 0]) - b[i + 0];
+  const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+  const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
+  const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
+  acc[0] += d0 * d0;
+  acc[1] += d1 * d1;
+  acc[2] += d2 * d2;
+  acc[3] += d3 * d3;
+}
+
+inline void Stripe4Reordered(const Value* q_ordered, const Value* candidate,
+                             const uint32_t* order, size_t i, double* acc) {
+  const double d0 = static_cast<double>(q_ordered[i + 0]) - candidate[order[i + 0]];
+  const double d1 = static_cast<double>(q_ordered[i + 1]) - candidate[order[i + 1]];
+  const double d2 = static_cast<double>(q_ordered[i + 2]) - candidate[order[i + 2]];
+  const double d3 = static_cast<double>(q_ordered[i + 3]) - candidate[order[i + 3]];
+  acc[0] += d0 * d0;
+  acc[1] += d1 * d1;
+  acc[2] += d2 * d2;
+  acc[3] += d3 * d3;
+}
+
+inline double Combine(const double* acc) {
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+// Shared body: kAbandon selects blockwise partial-sum checks (every 16
+// dimensions, i.e. 4 stripes). The non-abandoning instantiation performs
+// the exact same stripe sequence, so the two agree bitwise when no block
+// ever exceeds `bound`.
+template <bool kAbandon>
+double EuclideanImpl(const Value* a, const Value* b, size_t n, double bound) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  if constexpr (kAbandon) {
+    while (i + 16 <= n) {
+      Stripe4(a, b, i, acc);
+      Stripe4(a, b, i + 4, acc);
+      Stripe4(a, b, i + 8, acc);
+      Stripe4(a, b, i + 12, acc);
+      i += 16;
+      const double partial = Combine(acc);
+      if (partial > bound) return partial;
+    }
+  }
+  for (; i + 4 <= n; i += 4) Stripe4(a, b, i, acc);
+  double total = Combine(acc);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double PortableEuclideanSq(const Value* a, const Value* b, size_t n) {
+  return EuclideanImpl<false>(a, b, n, 0.0);
+}
+
+double PortableEuclideanSqAbandon(const Value* a, const Value* b, size_t n,
+                                  double bound) {
+  return EuclideanImpl<true>(a, b, n, bound);
+}
+
+double PortableEuclideanSqReordered(const Value* q_ordered,
+                                    const Value* candidate,
+                                    const uint32_t* order, size_t n,
+                                    double bound) {
+  if (n < kMinGatherWidth) {
+    return ScalarEuclideanSqReordered(q_ordered, candidate, order, n, bound);
+  }
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  while (i + 16 <= n) {
+    Stripe4Reordered(q_ordered, candidate, order, i, acc);
+    Stripe4Reordered(q_ordered, candidate, order, i + 4, acc);
+    Stripe4Reordered(q_ordered, candidate, order, i + 8, acc);
+    Stripe4Reordered(q_ordered, candidate, order, i + 12, acc);
+    i += 16;
+    const double partial = Combine(acc);
+    if (partial > bound) return partial;
+  }
+  for (; i + 4 <= n; i += 4) Stripe4Reordered(q_ordered, candidate, order, i, acc);
+  double total = Combine(acc);
+  for (; i < n; ++i) {
+    const double diff = static_cast<double>(q_ordered[i]) - candidate[order[i]];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+const KernelSet& PortableKernelsImpl() {
+  static constexpr KernelSet kPortable = {
+      "portable",
+      /*raw_order_preserved=*/false,
+      &PortableEuclideanSq,
+      &PortableEuclideanSqAbandon,
+      &PortableEuclideanSqReordered,
+      &ScalarSumSqDiff,
+      &ScalarBoxDistSq,
+      &ScalarIsaxMinDistSq,
+      &ScalarSfaLbSq,
+      &ScalarVaLbSq,
+      &ScalarEapcaNodeLbSq,
+  };
+  return kPortable;
+}
+
+}  // namespace hydra::core::simd::internal

@@ -1,0 +1,187 @@
+// The scalar kernel set: the pre-SIMD loops, kept verbatim as the
+// permanent reference every other set is differentially tested against.
+// Compiled with -ffp-contract=off so the reference semantics cannot drift
+// with compiler defaults.
+#include "core/simd/kernels.h"
+#include "core/simd/kernels_internal.h"
+
+namespace hydra::core::simd::internal {
+
+double ScalarEuclideanSq(const Value* a, const Value* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ScalarEuclideanSqAbandon(const Value* a, const Value* b, size_t n,
+                                double bound) {
+  double acc = 0.0;
+  size_t i = 0;
+  // Check the abandon condition every 8 dimensions to amortize the branch.
+  constexpr size_t kStride = 8;
+  while (i + kStride <= n) {
+    for (size_t j = 0; j < kStride; ++j, ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      acc += d * d;
+    }
+    if (acc > bound) return acc;
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ScalarEuclideanSqReordered(const Value* q_ordered,
+                                  const Value* candidate,
+                                  const uint32_t* order, size_t n,
+                                  double bound) {
+  double acc = 0.0;
+  size_t i = 0;
+  constexpr size_t kStride = 8;
+  while (i + kStride <= n) {
+    for (size_t j = 0; j < kStride; ++j, ++i) {
+      const double diff =
+          static_cast<double>(q_ordered[i]) - candidate[order[i]];
+      acc += diff * diff;
+    }
+    if (acc > bound) return acc;
+  }
+  for (; i < n; ++i) {
+    const double diff = static_cast<double>(q_ordered[i]) - candidate[order[i]];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double ScalarSumSqDiff(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ScalarBoxDistSq(const double* q, const double* lo, const double* hi,
+                       size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = 0.0;
+    if (q[i] < lo[i]) {
+      d = lo[i] - q[i];
+    } else if (q[i] > hi[i]) {
+      d = q[i] - hi[i];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ScalarIsaxMinDistSq(const double* paa_q, const uint8_t* symbols,
+                           const uint8_t* bits, size_t segments,
+                           const double* flat_lower, const double* flat_upper) {
+  double acc = 0.0;
+  for (size_t s = 0; s < segments; ++s) {
+    if (bits[s] == 0) continue;  // whole-domain segment contributes 0
+    const size_t idx = (size_t{1} << bits[s]) - 1 + symbols[s];
+    const double lo = flat_lower[idx];
+    const double hi = flat_upper[idx];
+    const double q = paa_q[s];
+    double d = 0.0;
+    if (q < lo) {
+      d = lo - q;
+    } else if (q > hi) {
+      d = q - hi;
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ScalarSfaLbSq(const double* q_dft, const uint8_t* word, size_t dims,
+                     const double* edges, size_t stride) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    const double* row = edges + d * stride;
+    const double lo = row[word[d]];
+    const double hi = row[word[d] + 1];
+    double dist = 0.0;
+    if (q_dft[d] < lo) {
+      dist = lo - q_dft[d];
+    } else if (q_dft[d] > hi) {
+      dist = q_dft[d] - hi;
+    }
+    acc += dist * dist;
+  }
+  return acc;
+}
+
+double ScalarVaLbSq(const double* q_dft, const uint16_t* cells, size_t dims,
+                    const double* edges, const uint32_t* offsets) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    const double lo = edges[offsets[d] + cells[d]];
+    const double hi = edges[offsets[d] + cells[d] + 1];
+    double dist = 0.0;
+    if (q_dft[d] < lo) {
+      dist = lo - q_dft[d];
+    } else if (q_dft[d] > hi) {
+      dist = q_dft[d] - hi;
+    }
+    acc += dist * dist;
+  }
+  return acc;
+}
+
+double ScalarEapcaNodeLbSq(const double* q_stats, const double* env,
+                           const uint32_t* ends, size_t segments) {
+  double acc = 0.0;
+  uint32_t begin = 0;
+  for (size_t s = 0; s < segments; ++s) {
+    const double q_mean = q_stats[2 * s];
+    const double q_std = q_stats[2 * s + 1];
+    const double min_mean = env[4 * s];
+    const double max_mean = env[4 * s + 1];
+    const double min_std = env[4 * s + 2];
+    const double max_std = env[4 * s + 3];
+    double dm = 0.0;
+    if (q_mean < min_mean) {
+      dm = min_mean - q_mean;
+    } else if (q_mean > max_mean) {
+      dm = q_mean - max_mean;
+    }
+    double ds = 0.0;
+    if (q_std < min_std) {
+      ds = min_std - q_std;
+    } else if (q_std > max_std) {
+      ds = q_std - max_std;
+    }
+    acc += static_cast<double>(ends[s] - begin) * (dm * dm + ds * ds);
+    begin = ends[s];
+  }
+  return acc;
+}
+
+const KernelSet& ScalarKernelsImpl() {
+  static constexpr KernelSet kScalar = {
+      "scalar",
+      /*raw_order_preserved=*/true,
+      &ScalarEuclideanSq,
+      &ScalarEuclideanSqAbandon,
+      &ScalarEuclideanSqReordered,
+      &ScalarSumSqDiff,
+      &ScalarBoxDistSq,
+      &ScalarIsaxMinDistSq,
+      &ScalarSfaLbSq,
+      &ScalarVaLbSq,
+      &ScalarEapcaNodeLbSq,
+  };
+  return kScalar;
+}
+
+}  // namespace hydra::core::simd::internal

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "core/simd/kernels.h"
 #include "io/counted_storage.h"
 #include "io/index_codec.h"
 #include "transform/paa.h"
@@ -58,17 +59,8 @@ struct Rect {
     return a_new - Area();
   }
   double MinDistSqTo(std::span<const double> p) const {
-    double acc = 0.0;
-    for (size_t d = 0; d < lo.size(); ++d) {
-      double diff = 0.0;
-      if (p[d] < lo[d]) {
-        diff = lo[d] - p[d];
-      } else if (p[d] > hi[d]) {
-        diff = p[d] - hi[d];
-      }
-      acc += diff * diff;
-    }
-    return acc;
+    return core::simd::ActiveKernels().box_dist_sq(p.data(), lo.data(),
+                                                   hi.data(), lo.size());
   }
   double CenterDistSqTo(const Rect& other) const {
     double acc = 0.0;

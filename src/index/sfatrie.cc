@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "core/distance.h"
+#include "core/simd/kernels.h"
 #include "core/traversal.h"
 #include "io/index_codec.h"
 #include "transform/dft.h"
@@ -279,17 +280,8 @@ double SfaTrie::NodeLowerBound(std::span<const double> q_dft,
                                const Node& node) const {
   // Distance from the query's DFT vector to the node MBR: valid because the
   // packed DFT is orthonormal and truncated.
-  double acc = 0.0;
-  for (size_t d = 0; d < q_dft.size(); ++d) {
-    double dist = 0.0;
-    if (q_dft[d] < node.mbr_min[d]) {
-      dist = node.mbr_min[d] - q_dft[d];
-    } else if (q_dft[d] > node.mbr_max[d]) {
-      dist = q_dft[d] - node.mbr_max[d];
-    }
-    acc += dist * dist;
-  }
-  return acc;
+  return core::simd::ActiveKernels().box_dist_sq(
+      q_dft.data(), node.mbr_min.data(), node.mbr_max.data(), q_dft.size());
 }
 
 void SfaTrie::VisitLeaf(const Node& leaf, const core::QueryOrder& order,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
+#include "core/simd/kernels.h"
 #include "util/check.h"
 
 namespace hydra::transform {
@@ -63,29 +65,21 @@ double EapcaPointLbSq(std::span<const SegmentStats> a,
   return acc;
 }
 
-namespace {
-
-double DistToInterval(double v, double lo, double hi) {
-  if (v < lo) return lo - v;
-  if (v > hi) return v - hi;
-  return 0.0;
-}
-
-}  // namespace
+// The kernels view SegmentStats/SegmentRange arrays as packed double
+// pairs/quads; pin the layout those strides assume.
+static_assert(sizeof(SegmentStats) == 2 * sizeof(double));
+static_assert(sizeof(SegmentRange) == 4 * sizeof(double));
+static_assert(std::is_standard_layout_v<SegmentStats>);
+static_assert(std::is_standard_layout_v<SegmentRange>);
 
 double EapcaNodeLbSq(std::span<const SegmentStats> q,
                      std::span<const SegmentRange> node,
                      const Segmentation& seg) {
   HYDRA_DCHECK(q.size() == node.size() && q.size() == seg.segments());
-  double acc = 0.0;
-  for (size_t s = 0; s < q.size(); ++s) {
-    const double dm =
-        DistToInterval(q[s].mean, node[s].min_mean, node[s].max_mean);
-    const double ds =
-        DistToInterval(q[s].stddev, node[s].min_std, node[s].max_std);
-    acc += static_cast<double>(seg.length_of(s)) * (dm * dm + ds * ds);
-  }
-  return acc;
+  return core::simd::ActiveKernels().eapca_node_lb_sq(
+      reinterpret_cast<const double*>(q.data()),
+      reinterpret_cast<const double*>(node.data()), seg.ends.data(),
+      seg.segments());
 }
 
 double EapcaNodeUbSq(std::span<const SegmentStats> q,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/simd/kernels.h"
 #include "util/check.h"
 
 namespace hydra::transform {
@@ -47,21 +48,10 @@ double IsaxMinDistSq(std::span<const double> paa_q, const IsaxWord& w,
                      size_t points_per_segment) {
   HYDRA_DCHECK(paa_q.size() == w.segments());
   const SaxBreakpoints& bp = SaxBreakpoints::Get();
-  double acc = 0.0;
-  for (size_t s = 0; s < w.segments(); ++s) {
-    if (w.bits[s] == 0) continue;  // whole-domain segment contributes 0
-    const double lo = bp.SymbolLower(w.symbols[s], w.bits[s]);
-    const double hi = bp.SymbolUpper(w.symbols[s], w.bits[s]);
-    const double q = paa_q[s];
-    double d = 0.0;
-    if (q < lo) {
-      d = lo - q;
-    } else if (q > hi) {
-      d = q - hi;
-    }
-    acc += d * d;
-  }
-  return acc * static_cast<double>(points_per_segment);
+  return core::simd::ActiveKernels().isax_mindist_sq(
+             paa_q.data(), w.symbols.data(), w.bits.data(), w.segments(),
+             bp.FlatLower(), bp.FlatUpper()) *
+         static_cast<double>(points_per_segment);
 }
 
 }  // namespace hydra::transform

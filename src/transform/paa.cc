@@ -1,5 +1,6 @@
 #include "transform/paa.h"
 
+#include "core/simd/kernels.h"
 #include "util/check.h"
 
 namespace hydra::transform {
@@ -20,12 +21,9 @@ std::vector<double> Paa(core::SeriesView x, size_t segments) {
 double PaaLowerBoundSq(std::span<const double> a, std::span<const double> b,
                        size_t points_per_segment) {
   HYDRA_DCHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t s = 0; s < a.size(); ++s) {
-    const double d = a[s] - b[s];
-    acc += d * d;
-  }
-  return acc * static_cast<double>(points_per_segment);
+  return core::simd::ActiveKernels().sum_sq_diff(a.data(), b.data(),
+                                                 a.size()) *
+         static_cast<double>(points_per_segment);
 }
 
 }  // namespace hydra::transform

@@ -1,6 +1,7 @@
 #include "transform/sax.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.h"
 #include "util/inverse_normal.h"
@@ -16,6 +17,21 @@ SaxBreakpoints::SaxBreakpoints() {
     for (int i = 1; i < cardinality; ++i) {
       table[i - 1] = util::InverseNormalCdf(static_cast<double>(i) /
                                             static_cast<double>(cardinality));
+    }
+  }
+  // Flatten all resolutions for the gather-based kernels: level `bits`
+  // occupies entries (1 << bits) - 1 .. (1 << (bits+1)) - 2, one interval
+  // per symbol. Level 0 is the whole domain.
+  const double inf = std::numeric_limits<double>::infinity();
+  flat_lower_.resize((size_t{1} << (kMaxSaxBits + 1)) - 1);
+  flat_upper_.resize(flat_lower_.size());
+  flat_lower_[0] = -inf;
+  flat_upper_[0] = inf;
+  for (int bits = 1; bits <= kMaxSaxBits; ++bits) {
+    const size_t base = (size_t{1} << bits) - 1;
+    for (int s = 0; s < (1 << bits); ++s) {
+      flat_lower_[base + s] = SymbolLower(static_cast<uint8_t>(s), bits);
+      flat_upper_[base + s] = SymbolUpper(static_cast<uint8_t>(s), bits);
     }
   }
 }

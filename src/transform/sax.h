@@ -30,9 +30,18 @@ class SaxBreakpoints {
   /// Upper edge of symbol `s` at `bits` resolution (+inf for the last).
   double SymbolUpper(uint8_t s, int bits) const;
 
+  /// Flat symbol-interval tables for the kernel layer: entry
+  /// (1 << bits) - 1 + symbol holds SymbolLower/Upper(symbol, bits) for
+  /// bits 0..kMaxSaxBits (the bits == 0 entry is the whole domain,
+  /// -inf/+inf). 2^(kMaxSaxBits+1) - 1 entries each.
+  const double* FlatLower() const { return flat_lower_.data(); }
+  const double* FlatUpper() const { return flat_upper_.data(); }
+
  private:
   SaxBreakpoints();
   std::vector<std::vector<double>> tables_;  // tables_[bits-1]
+  std::vector<double> flat_lower_;           // indexed (1 << bits) - 1 + s
+  std::vector<double> flat_upper_;
 };
 
 /// Discretizes one PAA value at `bits` resolution. Breakpoint nesting

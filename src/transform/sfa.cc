@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/simd/kernels.h"
 #include "util/check.h"
 
 namespace hydra::transform {
@@ -40,6 +41,7 @@ SfaQuantizer SfaQuantizer::Train(
       }
     }
   }
+  q.BuildFlatEdges();
   return q;
 }
 
@@ -53,7 +55,20 @@ SfaQuantizer SfaQuantizer::FromBreakpoints(
   SfaQuantizer q;
   q.alphabet_ = alphabet;
   q.bins_ = std::move(bins);
+  q.BuildFlatEdges();
   return q;
+}
+
+void SfaQuantizer::BuildFlatEdges() {
+  const size_t stride = FlatStride();
+  const double inf = std::numeric_limits<double>::infinity();
+  flat_edges_.resize(bins_.size() * stride);
+  for (size_t d = 0; d < bins_.size(); ++d) {
+    double* row = flat_edges_.data() + d * stride;
+    row[0] = -inf;
+    for (size_t b = 0; b < bins_[d].size(); ++b) row[b + 1] = bins_[d][b];
+    row[stride - 1] = inf;
+  }
 }
 
 std::vector<uint8_t> SfaQuantizer::Quantize(std::span<const double> dft) const {
@@ -70,27 +85,14 @@ std::vector<uint8_t> SfaQuantizer::Quantize(std::span<const double> dft) const {
 double SfaQuantizer::LowerBoundSq(std::span<const double> q_dft,
                                   std::span<const uint8_t> word) const {
   HYDRA_DCHECK(q_dft.size() == word.size());
-  double acc = 0.0;
-  for (size_t d = 0; d < q_dft.size(); ++d) {
-    const auto& bins = bins_[d];
-    const double lo = word[d] == 0 ? -std::numeric_limits<double>::infinity()
-                                   : bins[word[d] - 1];
-    const double hi = word[d] == bins.size()
-                          ? std::numeric_limits<double>::infinity()
-                          : bins[word[d]];
-    double dist = 0.0;
-    if (q_dft[d] < lo) {
-      dist = lo - q_dft[d];
-    } else if (q_dft[d] > hi) {
-      dist = q_dft[d] - hi;
-    }
-    acc += dist * dist;
-  }
-  return acc;
+  HYDRA_DCHECK(q_dft.size() == bins_.size());
+  return core::simd::ActiveKernels().sfa_lb_sq(
+      q_dft.data(), word.data(), q_dft.size(), flat_edges_.data(),
+      FlatStride());
 }
 
 size_t SfaQuantizer::MemoryBytes() const {
-  size_t bytes = 0;
+  size_t bytes = flat_edges_.size() * sizeof(double);
   for (const auto& bins : bins_) bytes += bins.size() * sizeof(double);
   return bytes;
 }

@@ -44,11 +44,22 @@ class SfaQuantizer {
   /// Breakpoints of dimension `d` (alphabet-1 ascending values).
   std::span<const double> BreakpointsFor(size_t d) const { return bins_[d]; }
 
+  /// Flat padded bin-edge table for the kernel layer: dimension d occupies
+  /// the FlatStride() doubles starting at d * FlatStride(), laid out as
+  /// [-inf, breakpoints..., +inf], so symbol w spans
+  /// [row[w], row[w + 1]].
+  const double* FlatEdges() const { return flat_edges_.data(); }
+  size_t FlatStride() const { return static_cast<size_t>(alphabet_) + 1; }
+
   /// Resident size of the breakpoint tables in bytes.
   size_t MemoryBytes() const;
 
  private:
+  /// Rebuilds flat_edges_ from bins_; every constructor path ends here.
+  void BuildFlatEdges();
+
   std::vector<std::vector<double>> bins_;
+  std::vector<double> flat_edges_;  // dims * (alphabet + 1) padded rows
   int alphabet_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd/kernels.h"
 #include "transform/kmeans1d.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -91,6 +92,7 @@ VaPlusQuantizer VaPlusQuantizer::Train(
       }
     }
   }
+  q.BuildFlatEdges();
   return q;
 }
 
@@ -110,7 +112,22 @@ VaPlusQuantizer VaPlusQuantizer::FromTables(
   q.edges_ = std::move(edges);
   q.bits_ = std::move(bits);
   q.total_bits_ = total_bits;
+  q.BuildFlatEdges();
   return q;
+}
+
+void VaPlusQuantizer::BuildFlatEdges() {
+  edge_offsets_.resize(edges_.size());
+  size_t total = 0;
+  for (size_t d = 0; d < edges_.size(); ++d) {
+    edge_offsets_[d] = static_cast<uint32_t>(total);
+    total += edges_[d].size();
+  }
+  flat_edges_.clear();
+  flat_edges_.reserve(total);
+  for (const auto& row : edges_) {
+    flat_edges_.insert(flat_edges_.end(), row.begin(), row.end());
+  }
 }
 
 std::vector<uint16_t> VaPlusQuantizer::Quantize(
@@ -136,20 +153,9 @@ std::vector<uint16_t> VaPlusQuantizer::Quantize(
 double VaPlusQuantizer::CellLowerBoundSq(
     std::span<const double> q_dft, std::span<const uint16_t> cells) const {
   HYDRA_DCHECK(q_dft.size() == dims());
-  double acc = 0.0;
-  for (size_t d = 0; d < dims(); ++d) {
-    const auto& edges = edges_[d];
-    const double lo = edges[cells[d]];
-    const double hi = edges[cells[d] + 1];
-    double dist = 0.0;
-    if (q_dft[d] < lo) {
-      dist = lo - q_dft[d];
-    } else if (q_dft[d] > hi) {
-      dist = q_dft[d] - hi;
-    }
-    acc += dist * dist;
-  }
-  return acc;
+  return core::simd::ActiveKernels().va_lb_sq(q_dft.data(), cells.data(),
+                                              dims(), flat_edges_.data(),
+                                              edge_offsets_.data());
 }
 
 double VaPlusQuantizer::CellUpperBoundSq(
@@ -177,6 +183,8 @@ size_t VaPlusQuantizer::ApproximationBytes() const {
 
 size_t VaPlusQuantizer::MemoryBytes() const {
   size_t bytes = bits_.size() * sizeof(int);
+  bytes += flat_edges_.size() * sizeof(double);
+  bytes += edge_offsets_.size() * sizeof(uint32_t);
   for (const auto& edges : edges_) bytes += edges.size() * sizeof(double);
   return bytes;
 }

@@ -62,15 +62,26 @@ class VaPlusQuantizer {
   int total_bits() const { return total_bits_; }
   /// Cell edges of dimension `d` (2^bits_for(d) + 1 ascending values).
   std::span<const double> EdgesFor(size_t d) const { return edges_[d]; }
+  /// Flat concatenation of all per-dimension edge tables for the kernel
+  /// layer: dimension d starts at EdgeOffsets()[d], so cell c spans
+  /// [FlatEdges()[EdgeOffsets()[d] + c], FlatEdges()[... + c + 1]].
+  const double* FlatEdges() const { return flat_edges_.data(); }
+  const uint32_t* EdgeOffsets() const { return edge_offsets_.data(); }
   /// Bytes per stored approximation word (packed, one uint16 per used dim).
   size_t ApproximationBytes() const;
   /// Resident size of the quantizer tables in bytes.
   size_t MemoryBytes() const;
 
  private:
+  /// Rebuilds flat_edges_/edge_offsets_ from edges_; every constructor
+  /// path ends here.
+  void BuildFlatEdges();
+
   // edges_[d] has 2^bits_[d] + 1 finite ascending edges; cell c of dimension
   // d spans [edges_[d][c], edges_[d][c+1]].
   std::vector<std::vector<double>> edges_;
+  std::vector<double> flat_edges_;      // concatenated edges_ rows
+  std::vector<uint32_t> edge_offsets_;  // start of each row in flat_edges_
   std::vector<int> bits_;
   int total_bits_ = 0;
 };

@@ -138,6 +138,41 @@ expect_err "index of another method" "was built by 'DSTree'" \
 expect_err "index fingerprint mismatch" "fingerprint mismatch" \
   query "$tmp/other.bin" DSTree 3 2 --index "$tmp/idx"
 
+# The kernel-dispatch flag: unknown/unsupported sets and misplaced flags
+# exit 1 listing the supported sets; ambient HYDRA_KERNELS misuse exits 1
+# for every command (never the library's abort); valid forcings run.
+expect_err "kernels unknown set" "unknown kernel set" \
+  query "$d" DSTree 3 2 --kernels fast
+expect_err "kernels missing value" "--kernels needs a value" \
+  query "$d" DSTree 3 2 --kernels
+expect_err "kernels on gen" "--kernels is only supported" \
+  gen synth 10 8 1 "$tmp/y.bin" --kernels scalar
+expect_err "kernels on methods" "--kernels is only supported" \
+  methods --kernels scalar
+bad_env_out=$(HYDRA_KERNELS=bogus "$bin" query "$d" DSTree 3 2 2>&1)
+bad_env_rc=$?
+if [ "$bad_env_rc" -ne 1 ]; then
+  echo "FAIL (bad HYDRA_KERNELS): exit $bad_env_rc, want 1 — $bad_env_out"
+  fails=1
+fi
+case "$bad_env_out" in
+  *"HYDRA_KERNELS='bogus'"*) ;;
+  *)
+    echo "FAIL (bad HYDRA_KERNELS): expected clean message: $bad_env_out"
+    fails=1
+    ;;
+esac
+expect_ok "kernels scalar forced" query "$d" DSTree 3 2 --kernels scalar
+expect_ok "kernels portable forced" query "$d" iSAX2+ 3 2 --kernels portable
+expect_ok "kernels listing" kernels
+expect_ok "kernels names listing" kernels names
+# The flag wins over a valid environment setting.
+if ! HYDRA_KERNELS=scalar "$bin" query "$d" DSTree 3 2 --kernels portable \
+    >/dev/null 2>&1; then
+  echo "FAIL (flag overrides env): expected success"
+  fails=1
+fi
+
 # Valid specs run end to end.
 expect_ok "exact default" query "$d" DSTree 3 2
 expect_ok "explicit exact" query "$d" DSTree 3 2 --mode exact

@@ -18,6 +18,17 @@
 //   hydra methods
 //       Print the method traits matrix (quality modes, concurrency,
 //       persistence).
+//   hydra kernels [names]
+//       Print the SIMD kernel-set table (compiled sets, CPU support, the
+//       active dispatch choice); `names` lists the supported set names one
+//       per line for scripting (the CI dispatch matrix loops over it).
+//
+// `build`, `query`, `range`, and `compare` accept --kernels <set>: force
+// the distance/lower-bound kernel set (scalar|portable|avx2|avx512)
+// instead of the best-supported default. The HYDRA_KERNELS environment
+// variable does the same for any process using the library; the flag wins
+// when both are given. Unknown or CPU-unsupported names exit 1 listing
+// the supported sets.
 //
 // `query` and `compare` accept --threads N anywhere after the command:
 // queries of one batch run concurrently when the method supports it
@@ -65,6 +76,7 @@
 #include "bench/registry.h"
 #include "core/method.h"
 #include "core/query_spec.h"
+#include "core/simd/kernels.h"
 #include "gen/realistic.h"
 #include "gen/workload.h"
 #include "io/disk_model.h"
@@ -94,6 +106,13 @@ int Usage() {
                "[--query-threads N]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
                "  hydra methods\n"
+               "  hydra kernels [names]\n"
+               "\n"
+               "--kernels <set> forces the distance/lower-bound kernel set "
+               "(see: hydra\n"
+               "kernels) on build/query/range/compare; HYDRA_KERNELS=<set> "
+               "does the same\n"
+               "for any command (the flag wins when both are given).\n"
                "\n"
                "--shards N partitions the collection into N contiguous "
                "shards built and\n"
@@ -724,6 +743,49 @@ int CmdCompare(int argc, char** argv, uint64_t threads) {
   return 0;
 }
 
+/// Pre-validates HYDRA_KERNELS so ambient misuse exits 1 with the
+/// supported list instead of reaching the library's abort-on-resolve last
+/// resort. Returns false after printing the error.
+bool CheckKernelEnv() {
+  const char* env = std::getenv("HYDRA_KERNELS");
+  if (env == nullptr || env[0] == '\0') return true;
+  const core::simd::KernelSet* set = core::simd::FindKernelSet(env);
+  if (set != nullptr && core::simd::KernelSetSupported(*set)) return true;
+  std::string supported;
+  for (const core::simd::KernelSet* s : core::simd::SupportedKernelSets()) {
+    supported += supported.empty() ? s->name : std::string(", ") + s->name;
+  }
+  std::fprintf(stderr, "error: HYDRA_KERNELS='%s' is %s (supported: %s)\n",
+               env, set == nullptr ? "not a kernel set" : "not supported by "
+                                                          "this CPU",
+               supported.c_str());
+  return false;
+}
+
+int CmdKernels(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[2]) == "names") {
+    // Scripting mode: the supported set names, one per line (the CI
+    // dispatch matrix loops over this).
+    for (const core::simd::KernelSet* set :
+         core::simd::SupportedKernelSets()) {
+      std::printf("%s\n", set->name);
+    }
+    return 0;
+  }
+  if (argc != 2) return Usage();
+  const core::simd::KernelSet& active = core::simd::ActiveKernels();
+  util::Table table({"set", "supported", "active", "raw-order-preserving"});
+  for (const core::simd::KernelSet* set : core::simd::AllKernelSets()) {
+    table.AddRow({set->name,
+                  core::simd::KernelSetSupported(*set) ? "yes" : "no",
+                  set == &active ? "yes" : "-",
+                  set->raw_order_preserved ? "yes" : "no"});
+  }
+  table.Print("kernel sets (default: best supported; override with "
+              "--kernels or HYDRA_KERNELS)");
+  return 0;
+}
+
 int CmdMethods() {
   // The full traits matrix: quality modes, batch concurrency, and index
   // persistence, each derived from the method's own traits() so this
@@ -770,6 +832,8 @@ int Main(int argc, char** argv) {
   const bool had_spec_flags = args.size() != before_spec;
   const char* index_dir = nullptr;
   if (!ExtractOption(&args, "--index", &index_dir)) return 1;
+  const char* kernels = nullptr;
+  if (!ExtractOption(&args, "--kernels", &kernels)) return 1;
   if (args.size() < 2) return Usage();  // argv was only flags
   const int n = static_cast<int>(args.size());
   const std::string cmd = args[1];
@@ -812,6 +876,25 @@ int Main(int argc, char** argv) {
                          "'range'\n");
     return 1;
   }
+  // An unusable HYDRA_KERNELS must exit cleanly for every command — the
+  // library would otherwise abort at first dispatch resolution.
+  if (!CheckKernelEnv()) return 1;
+  if (kernels != nullptr) {
+    // --kernels shapes distance computation, which only the build/search
+    // commands perform; swallowing it elsewhere would let users believe
+    // e.g. `hydra kernels --kernels avx2` changed anything.
+    if (cmd != "build" && cmd != "query" && cmd != "range" &&
+        cmd != "compare") {
+      std::fprintf(stderr, "error: --kernels is only supported by 'build', "
+                           "'query', 'range', and 'compare'\n");
+      return 1;
+    }
+    const util::Status forced = core::simd::UseKernels(kernels);
+    if (!forced.ok()) {
+      std::fprintf(stderr, "error: %s\n", forced.message().c_str());
+      return 1;
+    }
+  }
   if (cmd == "gen") return CmdGen(n, args.data());
   if (cmd == "build") return CmdBuild(n, args.data(), threads, shards);
   if (cmd == "query") {
@@ -824,6 +907,7 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
   if (cmd == "methods") return CmdMethods();
+  if (cmd == "kernels") return CmdKernels(n, args.data());
   return Usage();
 }
 
