@@ -115,6 +115,10 @@ std::vector<std::string> IntraQueryCapableNames() {
   return NamesSupporting(&core::MethodTraits::intra_query_parallel);
 }
 
+std::vector<std::string> ConcurrentCapableNames() {
+  return NamesSupporting(&core::MethodTraits::concurrent_queries);
+}
+
 std::unique_ptr<core::SearchMethod> CreateShardedMethod(
     const std::string& name, size_t shards, size_t threads,
     size_t leaf_capacity) {

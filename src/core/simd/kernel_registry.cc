@@ -55,6 +55,9 @@ const std::vector<const KernelSet*>& AllKernelSets() {
     auto* all = new std::vector<const KernelSet*>;
     all->push_back(&internal::ScalarKernelsImpl());
     all->push_back(&internal::PortableKernelsImpl());
+    if (const KernelSet* neon = internal::NeonKernelsImpl()) {
+      all->push_back(neon);
+    }
     if (const KernelSet* avx2 = internal::Avx2KernelsImpl()) {
       all->push_back(avx2);
     }
@@ -86,6 +89,11 @@ bool KernelSetSupported(const KernelSet& set) {
       std::strcmp(set.name, "portable") == 0) {
     return true;
   }
+#if defined(__aarch64__)
+  // Advanced SIMD is baseline on AArch64; the set exists iff the TU
+  // compiled for it, so existence is support.
+  if (std::strcmp(set.name, "neon") == 0) return true;
+#endif
 #if defined(__x86_64__) || defined(__i386__)
   if (std::strcmp(set.name, "avx2") == 0) {
     return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");

@@ -1,11 +1,14 @@
 // Runtime-dispatched kernels for the distance and lower-bound hot loops.
 //
-// Every kernel family ships in up to four implementations ("kernel sets"):
+// Every kernel family ships in up to five implementations ("kernel sets"):
 //   scalar   — the permanent reference, verbatim the pre-SIMD loops.
 //   portable — 4-wide stripe-unrolled plain C++ (any CPU, any ISA).
 //   avx2     — 256-bit AVX2+FMA (8 floats / 4 doubles per step, gathers).
 //   avx512   — 512-bit AVX-512 F+DQ raw-series kernels (summary kernels
 //              reuse the AVX2 table forms, which are already memory-bound).
+//   neon     — AArch64 Advanced SIMD raw-series kernels (8 floats per step
+//              over four 2-lane double accumulators); summary and
+//              reordered kernels alias scalar (NEON has no gather).
 //
 // Dispatch is resolved once per process from cpuid (best supported set
 // wins), overridable via the HYDRA_KERNELS environment variable or
@@ -43,7 +46,8 @@ namespace hydra::core::simd {
 /// always non-null; sets that have no specialized form for a kernel alias
 /// a lower level's function.
 struct KernelSet {
-  /// Stable identifier ("scalar", "portable", "avx2", "avx512") accepted
+  /// Stable identifier ("scalar", "portable", "avx2", "avx512", "neon")
+  /// accepted
   /// by --kernels / HYDRA_KERNELS.
   const char* name;
 

@@ -56,6 +56,7 @@ const KernelSet& ScalarKernelsImpl();
 const KernelSet& PortableKernelsImpl();
 const KernelSet* Avx2KernelsImpl();
 const KernelSet* Avx512KernelsImpl();
+const KernelSet* NeonKernelsImpl();
 
 /// Reordered (gather-based) kernels fall back to the scalar loop below
 /// this width: the gather setup only pays off on wide series, and the

@@ -1,0 +1,120 @@
+// Implementation of the serve daemon's byte-budgeted LRU answer cache.
+#include "serve/answer_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/knn.h"
+#include "core/types.h"
+
+namespace hydra::serve {
+namespace {
+
+// Appends `value` to `*key` as raw little-endian bytes. The key is an
+// opaque byte string compared for equality only, so raw memcpy of fixed
+// -width fields is canonical enough — every field is appended at a fixed
+// offset for a given kind, and variable-length data (the query vector)
+// comes last.
+template <typename T>
+void AppendRaw(std::string* key, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  key->append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+std::string AnswerCache::Key(const io::DatasetFingerprint& fingerprint,
+                             const core::QuerySpec& spec,
+                             core::SeriesView query) {
+  std::string key;
+  key.reserve(3 * sizeof(uint64_t) + 2 * sizeof(uint64_t) +
+              query.size() * sizeof(core::Value));
+  AppendRaw(&key, fingerprint.count);
+  AppendRaw(&key, fingerprint.length);
+  AppendRaw(&key, fingerprint.bytes);
+  AppendRaw(&key, static_cast<uint8_t>(spec.kind));
+  if (spec.kind == core::QueryKind::kKnn) {
+    AppendRaw(&key, static_cast<uint64_t>(spec.k));
+  } else {
+    AppendRaw(&key, spec.radius);
+  }
+  key.append(reinterpret_cast<const char*>(query.data()),
+             query.size() * sizeof(core::Value));
+  return key;
+}
+
+size_t AnswerCache::EntryBytes(const std::string& key,
+                               const core::QueryResult& result) {
+  // Fixed overhead approximates the unordered_map node, the list node,
+  // the Entry struct (QueryResult's SearchStats ledger included), and the
+  // vector headers — close enough for budget arithmetic; the budget is a
+  // sizing knob, not an accounting invariant.
+  constexpr size_t kOverhead = 160;
+  return kOverhead + key.size() +
+         result.neighbors.size() * sizeof(core::Neighbor);
+}
+
+bool AnswerCache::Lookup(const std::string& key, core::QueryResult* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *out = it->second.result;
+  ++hits_;
+  return true;
+}
+
+void AnswerCache::Insert(const std::string& key,
+                         const core::QueryResult& result) {
+  const size_t entry_bytes = EntryBytes(key, result);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entry_bytes > budget_) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: replace the stored answer and recency (a concurrent miss
+    // may Insert the same key twice; both answers are exact, so keep the
+    // newer one).
+    bytes_ -= it->second.bytes;
+    it->second.result = result;
+    it->second.bytes = entry_bytes;
+    bytes_ += entry_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  } else {
+    while (bytes_ + entry_bytes > budget_) EvictColdest();
+    auto [pos, inserted] =
+        map_.emplace(key, Entry{result, entry_bytes, lru_.end()});
+    lru_.push_front(&pos->first);
+    pos->second.lru_pos = lru_.begin();
+    bytes_ += entry_bytes;
+    ++insertions_;
+  }
+  // Eviction above can only have been for the new entry; the refresh path
+  // may now be over budget when the new answer is larger than the old.
+  while (bytes_ > budget_) EvictColdest();
+}
+
+void AnswerCache::EvictColdest() {
+  const std::string* coldest = lru_.back();
+  auto it = map_.find(*coldest);
+  bytes_ -= it->second.bytes;
+  lru_.pop_back();
+  map_.erase(it);
+  ++evictions_;
+}
+
+AnswerCache::Counters AnswerCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counters{.hits = hits_,
+                  .misses = misses_,
+                  .insertions = insertions_,
+                  .evictions = evictions_,
+                  .entries = map_.size(),
+                  .bytes = bytes_,
+                  .budget_bytes = budget_};
+}
+
+}  // namespace hydra::serve

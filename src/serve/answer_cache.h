@@ -1,0 +1,107 @@
+// LRU answer cache of the serve daemon: repeated/trending queries — the
+// defining trait of million-user traffic — are answered from memory instead
+// of re-traversing the index. Keyed on (dataset fingerprint, canonicalized
+// QuerySpec, query-vector bytes), so a hit is an *exact* key match (full
+// bytes compared, never just a hash) and can simply replay the stored
+// QueryResult. Exactness rule: only exact-mode, unbudgeted answers are
+// cacheable — approximate and budgeted answers depend on traversal state
+// and visit order, so those modes bypass the cache entirely (Cacheable).
+#ifndef HYDRA_SERVE_ANSWER_CACHE_H_
+#define HYDRA_SERVE_ANSWER_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/method.h"
+#include "core/query_spec.h"
+#include "io/index_codec.h"
+
+namespace hydra::serve {
+
+/// Thread-safe byte-budgeted LRU map from query key to QueryResult.
+///
+/// Eviction is by least-recently-used under a byte budget: every entry is
+/// charged its key bytes plus its neighbor payload plus a fixed bookkeeping
+/// overhead, and inserts evict from the cold end until the new entry fits.
+/// An entry larger than the whole budget is not inserted at all (it would
+/// evict everything for a single answer). A zero budget disables the cache
+/// (lookups miss, inserts drop).
+class AnswerCache {
+ public:
+  explicit AnswerCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// The exactness-only rule: true iff answers to `spec` may be cached —
+  /// exact mode, no execution budgets (approximate/budgeted answers are
+  /// not functions of the key alone).
+  static bool Cacheable(const core::QuerySpec& spec) {
+    return spec.mode == core::QualityMode::kExact && !spec.has_budget();
+  }
+
+  /// Canonical cache key: dataset fingerprint + the spec fields that
+  /// determine an exact answer (kind, then k or radius — epsilon/delta/
+  /// budgets/query_threads are canonicalized away; Cacheable already
+  /// excludes the specs where they matter) + the raw query bytes. Two
+  /// specs that must produce identical exact answers map to one key.
+  static std::string Key(const io::DatasetFingerprint& fingerprint,
+                         const core::QuerySpec& spec,
+                         core::SeriesView query);
+
+  /// On hit: copies the stored result into `*out`, refreshes the entry's
+  /// recency, and counts a hit. On miss: counts a miss.
+  bool Lookup(const std::string& key, core::QueryResult* out);
+
+  /// Inserts (or refreshes) `key -> result`, evicting cold entries until
+  /// the byte budget holds. No-op (beyond counters) when the entry alone
+  /// exceeds the budget.
+  void Insert(const std::string& key, const core::QueryResult& result);
+
+  /// Monotonic counters plus current occupancy, for STATS and tests.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t budget_bytes = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    core::QueryResult result;
+    size_t bytes = 0;
+    /// Position in lru_ (front = hottest).
+    std::list<const std::string*>::iterator lru_pos;
+  };
+
+  /// Bytes charged to an entry: key + neighbor payload + fixed overhead
+  /// for the map node, list node, and result bookkeeping.
+  static size_t EntryBytes(const std::string& key,
+                           const core::QueryResult& result);
+
+  void EvictColdest();
+
+  const size_t budget_;
+  mutable std::mutex mutex_;
+  /// Keys point into map_ nodes (stable addresses in unordered_map).
+  std::list<const std::string*> lru_;
+  std::unordered_map<std::string, Entry> map_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hydra::serve
+
+#endif  // HYDRA_SERVE_ANSWER_CACHE_H_

@@ -1,0 +1,146 @@
+// Implementation of the serve protocol client.
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hydra::serve {
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Client::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return util::Status::Error("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::Error("'" + host +
+                               "' is not a numeric IPv4 address");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return util::Status::Error(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const util::Status err = util::Status::Error(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    Close();
+    return err;
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::SendFrame(const Frame& frame) {
+  if (!connected()) return util::Status::Error("not connected");
+  const std::string wire = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const util::Status err = util::Status::Error(
+          std::string("send: ") + std::strerror(errno));
+      Close();
+      return err;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::ReceiveFrame(Frame* frame) {
+  char buf[4096];
+  for (;;) {
+    switch (decoder_.Pop(frame)) {
+      case FrameDecoder::Next::kFrame:
+        return util::Status::Ok();
+      case FrameDecoder::Next::kError: {
+        const util::Status err = util::Status::Error(
+            "protocol error from server: " + decoder_.error());
+        Close();
+        return err;
+      }
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const util::Status err = util::Status::Error(
+          std::string("recv: ") + std::strerror(errno));
+      Close();
+      return err;
+    }
+    if (n == 0) {
+      Close();
+      return util::Status::Error("server closed the connection");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+util::Status Client::RoundTrip(const Frame& request, FrameType expected,
+                               Frame* response, ErrorCode* error_code) {
+  if (error_code != nullptr) *error_code = ErrorCode::kInternal;
+  util::Status s = SendFrame(request);
+  if (!s.ok()) return s;
+  s = ReceiveFrame(response);
+  if (!s.ok()) return s;
+  if (response->type == FrameType::kError) {
+    ErrorResponse error;
+    const util::Status decoded =
+        DecodeErrorResponse(response->payload, &error);
+    if (!decoded.ok()) {
+      Close();
+      return decoded;
+    }
+    if (error_code != nullptr) *error_code = error.code;
+    return util::Status::Error(std::string(ErrorCodeName(error.code)) +
+                               ": " + error.message);
+  }
+  if (response->type != expected) {
+    Close();
+    return util::Status::Error("unexpected response frame type");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::Ping() {
+  Frame response;
+  return RoundTrip(Frame{FrameType::kPing, ""}, FrameType::kPong, &response,
+                   nullptr);
+}
+
+util::Status Client::Query(const QueryRequest& request, AnswerResponse* out,
+                           ErrorCode* error_code) {
+  Frame response;
+  const util::Status s =
+      RoundTrip(Frame{FrameType::kQuery, EncodeQueryRequest(request)},
+                FrameType::kAnswer, &response, error_code);
+  if (!s.ok()) return s;
+  return DecodeAnswerResponse(response.payload, out);
+}
+
+util::Status Client::Stats(std::string* json) {
+  Frame response;
+  const util::Status s = RoundTrip(Frame{FrameType::kStats, ""},
+                                   FrameType::kStatsReply, &response, nullptr);
+  if (!s.ok()) return s;
+  return DecodeStatsResponse(response.payload, json);
+}
+
+}  // namespace hydra::serve

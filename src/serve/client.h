@@ -1,0 +1,62 @@
+// Client side of the serve protocol: a blocking loopback TCP connection
+// speaking serve/protocol.h frames. Used by the `hydra ping`/`hydra
+// queryd` CLI modes, the integration tests, the smoke script, and the
+// throughput bench — every consumer drives the daemon through this one
+// real socket path.
+#ifndef HYDRA_SERVE_CLIENT_H_
+#define HYDRA_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace hydra::serve {
+
+/// One synchronous connection to a serve daemon. Connect once, then issue
+/// requests; each request writes one frame and blocks for the matching
+/// response frame. Not thread-safe — one Client per thread (connections
+/// are cheap on loopback).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port` (`host` must be a numeric IPv4 address;
+  /// the daemon only ever listens on loopback).
+  util::Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Round-trips a kPing frame.
+  util::Status Ping();
+
+  /// Executes one query on the daemon. A kAnswer response fills `*out`;
+  /// an error frame becomes an error Status of the form
+  /// "<code-name>: <server message>", with the machine-readable code in
+  /// `*error_code` when non-null (kInternal for transport failures).
+  util::Status Query(const QueryRequest& request, AnswerResponse* out,
+                     ErrorCode* error_code = nullptr);
+
+  /// Fetches the daemon's STATS document (JSON).
+  util::Status Stats(std::string* json);
+
+ private:
+  util::Status SendFrame(const Frame& frame);
+  util::Status ReceiveFrame(Frame* frame);
+  /// Sends `request`, receives one frame, maps error frames to Status.
+  util::Status RoundTrip(const Frame& request, FrameType expected,
+                         Frame* response, ErrorCode* error_code);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace hydra::serve
+
+#endif  // HYDRA_SERVE_CLIENT_H_

@@ -1,0 +1,170 @@
+// Implementation of the serve daemon's metrics and STATS rendering.
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace hydra::serve {
+
+ServerMetrics::ServerMetrics(size_t ring_capacity)
+    : ring_capacity_(std::max<size_t>(1, ring_capacity)) {
+  ring_.reserve(ring_capacity_);
+}
+
+void ServerMetrics::RecordQuery(double latency_seconds,
+                                const core::SearchStats& stats,
+                                bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  if (cache_hit) ++cache_hits_;
+  merged_.Add(stats);
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(latency_seconds);
+  } else {
+    ring_[ring_next_] = latency_seconds;
+  }
+  ring_next_ = (ring_next_ + 1) % ring_capacity_;
+}
+
+void ServerMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServerMetrics::RecordBadQuery() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++bad_queries_;
+}
+
+void ServerMetrics::RecordMalformed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++malformed_;
+}
+
+void ServerMetrics::RecordPing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pings_;
+}
+
+void ServerMetrics::RecordStatsRequest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_requests_;
+}
+
+ServerMetrics::Snapshot ServerMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.uptime_seconds = uptime_.Seconds();
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.bad_queries = bad_queries_;
+  s.malformed = malformed_;
+  s.pings = pings_;
+  s.stats_requests = stats_requests_;
+  s.cache_hits = cache_hits_;
+  if (s.uptime_seconds > 0.0) {
+    s.qps = static_cast<double>(completed_) / s.uptime_seconds;
+  }
+  const util::Percentiles tail = util::TailPercentiles(ring_);
+  s.p50_ms = tail.p50 * 1e3;
+  s.p95_ms = tail.p95 * 1e3;
+  s.p99_ms = tail.p99 * 1e3;
+  s.latency_samples = ring_.size();
+  s.merged = merged_;
+  return s;
+}
+
+std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
+                      const AnswerCache::Counters& cache,
+                      std::string_view method_name) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("uptime_seconds");
+  json.Double(snapshot.uptime_seconds);
+  json.Key("qps");
+  json.Double(snapshot.qps);
+
+  json.Key("requests");
+  json.BeginObject();
+  json.Key("completed");
+  json.Uint(snapshot.completed);
+  json.Key("rejected");
+  json.Uint(snapshot.rejected);
+  json.Key("bad_queries");
+  json.Uint(snapshot.bad_queries);
+  json.Key("malformed");
+  json.Uint(snapshot.malformed);
+  json.Key("pings");
+  json.Uint(snapshot.pings);
+  json.Key("stats");
+  json.Uint(snapshot.stats_requests);
+  json.EndObject();
+
+  json.Key("latency");
+  json.BeginObject();
+  json.Key("p50_ms");
+  json.Double(snapshot.p50_ms);
+  json.Key("p95_ms");
+  json.Double(snapshot.p95_ms);
+  json.Key("p99_ms");
+  json.Double(snapshot.p99_ms);
+  json.Key("samples");
+  json.Uint(snapshot.latency_samples);
+  json.EndObject();
+
+  json.Key("cache");
+  json.BeginObject();
+  json.Key("hits");
+  json.Uint(cache.hits);
+  json.Key("misses");
+  json.Uint(cache.misses);
+  json.Key("insertions");
+  json.Uint(cache.insertions);
+  json.Key("evictions");
+  json.Uint(cache.evictions);
+  json.Key("entries");
+  json.Uint(cache.entries);
+  json.Key("bytes");
+  json.Uint(cache.bytes);
+  json.Key("budget_bytes");
+  json.Uint(cache.budget_bytes);
+  json.Key("hit_rate");
+  const uint64_t lookups = cache.hits + cache.misses;
+  json.Double(lookups == 0
+                  ? 0.0
+                  : static_cast<double>(cache.hits) /
+                        static_cast<double>(lookups));
+  json.EndObject();
+
+  // The merged per-method ledger; one served method today, but the key
+  // structure already accommodates a multi-method daemon.
+  json.Key("search_stats");
+  json.BeginObject();
+  json.Key(method_name);
+  json.BeginObject();
+  json.Key("distance_computations");
+  json.Int(snapshot.merged.distance_computations);
+  json.Key("raw_series_examined");
+  json.Int(snapshot.merged.raw_series_examined);
+  json.Key("lower_bound_computations");
+  json.Int(snapshot.merged.lower_bound_computations);
+  json.Key("nodes_visited");
+  json.Int(snapshot.merged.nodes_visited);
+  json.Key("sequential_reads");
+  json.Int(snapshot.merged.sequential_reads);
+  json.Key("random_seeks");
+  json.Int(snapshot.merged.random_seeks);
+  json.Key("bytes_read");
+  json.Int(snapshot.merged.bytes_read);
+  json.Key("cpu_seconds");
+  json.Double(snapshot.merged.cpu_seconds);
+  json.EndObject();
+  json.EndObject();
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace hydra::serve

@@ -1,0 +1,94 @@
+// Observability of the serve daemon: monotonic request counters, the
+// merged SearchStats ledger of every query answered, and a fixed-size
+// latency ring buffer from which the STATS reply derives p50/p95/p99.
+// One instance per Server, written by every worker, snapshotted by STATS.
+#ifndef HYDRA_SERVE_METRICS_H_
+#define HYDRA_SERVE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/search_stats.h"
+#include "serve/answer_cache.h"
+#include "util/timer.h"
+
+namespace hydra::serve {
+
+/// Thread-safe request-level metrics. Latencies land in a ring buffer of
+/// fixed capacity — percentiles describe the most recent `ring_capacity`
+/// queries, which is what an operator watching a live daemon wants (the
+/// counters remain whole-lifetime).
+class ServerMetrics {
+ public:
+  explicit ServerMetrics(size_t ring_capacity = 4096);
+
+  ServerMetrics(const ServerMetrics&) = delete;
+  ServerMetrics& operator=(const ServerMetrics&) = delete;
+
+  /// One answered query: wall seconds from admission to response written,
+  /// the query's stats ledger (merged into the lifetime ledger), and
+  /// whether the answer came from the cache.
+  void RecordQuery(double latency_seconds, const core::SearchStats& stats,
+                   bool cache_hit);
+  /// One request refused by admission control (RESOURCE_EXHAUSTED).
+  void RecordRejected();
+  /// One request refused by semantic validation (BAD_QUERY).
+  void RecordBadQuery();
+  /// One connection dropped for malformed bytes (bad magic/CRC/version).
+  void RecordMalformed();
+  void RecordPing();
+  void RecordStatsRequest();
+
+  /// Consistent copy of everything, taken under the one metrics lock.
+  struct Snapshot {
+    double uptime_seconds = 0.0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t bad_queries = 0;
+    uint64_t malformed = 0;
+    uint64_t pings = 0;
+    uint64_t stats_requests = 0;
+    uint64_t cache_hits = 0;
+    /// completed / uptime_seconds (0 while nothing completed).
+    double qps = 0.0;
+    /// Tail percentiles over the latency ring, in milliseconds.
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    /// Samples currently in the ring (<= ring capacity).
+    size_t latency_samples = 0;
+    /// Every answered query's ledger, accumulated.
+    core::SearchStats merged;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  const size_t ring_capacity_;
+  mutable std::mutex mutex_;
+  util::WallTimer uptime_;
+  std::vector<double> ring_;
+  size_t ring_next_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t bad_queries_ = 0;
+  uint64_t malformed_ = 0;
+  uint64_t pings_ = 0;
+  uint64_t stats_requests_ = 0;
+  uint64_t cache_hits_ = 0;
+  core::SearchStats merged_;
+};
+
+/// Renders the STATS reply document: uptime, QPS, latency percentiles,
+/// request counters, cache counters with the derived hit rate, and the
+/// merged SearchStats ledger keyed by the served method's name.
+std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
+                      const AnswerCache::Counters& cache,
+                      std::string_view method_name);
+
+}  // namespace hydra::serve
+
+#endif  // HYDRA_SERVE_METRICS_H_

@@ -1,0 +1,193 @@
+// The answer-cache contract: strict LRU recency under a byte budget,
+// cache keys isolate datasets (fingerprint) and query shapes (canonical
+// spec + query bytes) from one another, and the exactness-only rule —
+// approximate or budgeted specs are never cacheable.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/method.h"
+#include "core/query_spec.h"
+#include "io/index_codec.h"
+#include "serve/answer_cache.h"
+
+namespace hydra::serve {
+namespace {
+
+const io::DatasetFingerprint kFpA{100, 64, 100 * 64 * 4};
+const io::DatasetFingerprint kFpB{200, 64, 200 * 64 * 4};
+
+core::QueryResult MakeResult(uint32_t id, size_t neighbors = 1) {
+  core::QueryResult result;
+  for (size_t i = 0; i < neighbors; ++i) {
+    result.neighbors.push_back({id + static_cast<uint32_t>(i), 0.5 * (i + 1)});
+  }
+  result.stats.distance_computations = id;
+  return result;
+}
+
+std::vector<core::Value> MakeQuery(float seed) {
+  return {seed, seed + 1.0f, seed + 2.0f};
+}
+
+TEST(AnswerCacheTest, HitReturnsStoredResultAndCounts) {
+  AnswerCache cache(1 << 20);
+  const auto query = MakeQuery(1.0f);
+  const std::string key =
+      AnswerCache::Key(kFpA, core::QuerySpec::Knn(3), query);
+
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, MakeResult(7, 3));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  ASSERT_EQ(out.neighbors.size(), 3u);
+  EXPECT_EQ(out.neighbors[0].id, 7u);
+  EXPECT_EQ(out.neighbors[2].dist_sq, 1.5);
+  // The stats ledger replays too — a cached answer reports the original
+  // query's work, so responses stay bit-identical.
+  EXPECT_EQ(out.stats.distance_computations, 7);
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.insertions, 1u);
+  EXPECT_EQ(counters.evictions, 0u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(AnswerCacheTest, LruOrderEvictsColdestFirst) {
+  // Budget for exactly three single-neighbor entries, then insert a
+  // fourth: the least-recently-*used* (not least-recently-inserted)
+  // entry must go.
+  const auto spec = core::QuerySpec::Knn(1);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(AnswerCache::Key(kFpA, spec, MakeQuery(float(i))));
+  }
+  size_t three = 0;
+  {
+    AnswerCache probe(1 << 20);
+    for (int i = 0; i < 3; ++i) probe.Insert(keys[i], MakeResult(i));
+    three = probe.counters().bytes;
+  }
+
+  AnswerCache cache(three);
+  for (int i = 0; i < 3; ++i) cache.Insert(keys[i], MakeResult(i));
+  EXPECT_EQ(cache.counters().entries, 3u);
+
+  // Touch key 0 so key 1 becomes the coldest, then overflow.
+  core::QueryResult out;
+  ASSERT_TRUE(cache.Lookup(keys[0], &out));
+  cache.Insert(keys[3], MakeResult(3));
+
+  EXPECT_TRUE(cache.Lookup(keys[0], &out));
+  EXPECT_FALSE(cache.Lookup(keys[1], &out)) << "coldest entry survived";
+  EXPECT_TRUE(cache.Lookup(keys[2], &out));
+  EXPECT_TRUE(cache.Lookup(keys[3], &out));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(AnswerCacheTest, ByteBudgetIsRespected) {
+  const auto spec = core::QuerySpec::Knn(1);
+  AnswerCache cache(2048);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert(AnswerCache::Key(kFpA, spec, MakeQuery(float(i))),
+                 MakeResult(i, 4));
+    EXPECT_LE(cache.counters().bytes, 2048u);
+  }
+  const auto counters = cache.counters();
+  EXPECT_GT(counters.evictions, 0u);
+  EXPECT_GT(counters.entries, 0u);
+  EXPECT_LT(counters.entries, 64u);
+}
+
+TEST(AnswerCacheTest, EntryLargerThanBudgetIsDropped) {
+  AnswerCache cache(64);
+  const std::string key =
+      AnswerCache::Key(kFpA, core::QuerySpec::Knn(100), MakeQuery(1.0f));
+  cache.Insert(key, MakeResult(1, 100));
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_EQ(cache.counters().insertions, 0u);
+}
+
+TEST(AnswerCacheTest, ZeroBudgetDisablesTheCache) {
+  AnswerCache cache(0);
+  const std::string key =
+      AnswerCache::Key(kFpA, core::QuerySpec::Knn(1), MakeQuery(1.0f));
+  cache.Insert(key, MakeResult(1));
+  core::QueryResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+}
+
+TEST(AnswerCacheTest, KeysIsolateFingerprintSpecAndQuery) {
+  const auto query = MakeQuery(1.0f);
+  const auto knn3 = core::QuerySpec::Knn(3);
+
+  // Different dataset, same spec + query: distinct keys.
+  EXPECT_NE(AnswerCache::Key(kFpA, knn3, query),
+            AnswerCache::Key(kFpB, knn3, query));
+  // Different k: distinct keys.
+  EXPECT_NE(AnswerCache::Key(kFpA, knn3, query),
+            AnswerCache::Key(kFpA, core::QuerySpec::Knn(4), query));
+  // Knn vs range: distinct keys even with overlapping parameter bytes.
+  EXPECT_NE(AnswerCache::Key(kFpA, knn3, query),
+            AnswerCache::Key(kFpA, core::QuerySpec::Range(1.0), query));
+  // Different radius: distinct keys.
+  EXPECT_NE(AnswerCache::Key(kFpA, core::QuerySpec::Range(1.0), query),
+            AnswerCache::Key(kFpA, core::QuerySpec::Range(2.0), query));
+  // Different query vector: distinct keys.
+  EXPECT_NE(AnswerCache::Key(kFpA, knn3, query),
+            AnswerCache::Key(kFpA, knn3, MakeQuery(2.0f)));
+  // Identical inputs: identical keys (the whole point).
+  EXPECT_EQ(AnswerCache::Key(kFpA, knn3, query),
+            AnswerCache::Key(kFpA, knn3, MakeQuery(1.0f)));
+}
+
+TEST(AnswerCacheTest, CanonicalizationIgnoresInertKnobs) {
+  // Fields that cannot change an exact answer (epsilon/delta defaults,
+  // query_threads) are canonicalized away: specs differing only there
+  // share one cache slot.
+  const auto query = MakeQuery(1.0f);
+  auto a = core::QuerySpec::Knn(3);
+  auto b = core::QuerySpec::Knn(3);
+  b.query_threads = 4;
+  EXPECT_EQ(AnswerCache::Key(kFpA, a, query),
+            AnswerCache::Key(kFpA, b, query));
+}
+
+TEST(AnswerCacheTest, OnlyExactUnbudgetedSpecsAreCacheable) {
+  EXPECT_TRUE(AnswerCache::Cacheable(core::QuerySpec::Knn(3)));
+  EXPECT_TRUE(AnswerCache::Cacheable(core::QuerySpec::Range(1.0)));
+
+  // Approximate modes bypass: their answers depend on traversal state.
+  EXPECT_FALSE(AnswerCache::Cacheable(core::QuerySpec::NgApprox(3)));
+  EXPECT_FALSE(AnswerCache::Cacheable(core::QuerySpec::Epsilon(3, 0.5)));
+  EXPECT_FALSE(
+      AnswerCache::Cacheable(core::QuerySpec::DeltaEpsilon(3, 0.5, 0.5)));
+
+  // Budgeted exact queries bypass: truncation depends on visit order.
+  auto budgeted = core::QuerySpec::Knn(3);
+  budgeted.max_raw_series = 100;
+  EXPECT_FALSE(AnswerCache::Cacheable(budgeted));
+  budgeted = core::QuerySpec::Knn(3);
+  budgeted.max_visited_leaves = 5;
+  EXPECT_FALSE(AnswerCache::Cacheable(budgeted));
+}
+
+TEST(AnswerCacheTest, RefreshReplacesValueWithoutDuplicating) {
+  AnswerCache cache(1 << 20);
+  const std::string key =
+      AnswerCache::Key(kFpA, core::QuerySpec::Knn(1), MakeQuery(1.0f));
+  cache.Insert(key, MakeResult(1));
+  cache.Insert(key, MakeResult(2));
+  EXPECT_EQ(cache.counters().entries, 1u);
+  core::QueryResult out;
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.neighbors[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace hydra::serve

@@ -15,6 +15,22 @@
 //       Exact r-range queries; accepts --index <dir> like `query`.
 //   hydra compare <data.bin> [queries]
 //       Run the best six methods and print the scenario table.
+//   hydra serve <data.bin> <method> [--index <dir>] [--port P]
+//               [--serve-threads N] [--cache-mb M] [--max-inflight Q]
+//       Long-lived query daemon: builds (or opens, with --index) the
+//       method once, then answers concurrent clients over the framed
+//       binary protocol on 127.0.0.1:P (src/serve). SIGINT/SIGTERM
+//       drains in-flight queries and exits; SIGHUP re-opens the index
+//       without dropping the listener. Accepts --shards like `query`.
+//   hydra ping [--port P]
+//       Round-trip a ping frame to a running daemon.
+//   hydra queryd <data.bin> <k> [queries] [--port P] [spec flags]
+//       Send the same probe workload `hydra query` runs to a daemon and
+//       print the answers in the identical format (the smoke script
+//       diffs the two). The data file is read only to derive the probes.
+//   hydra stats [--port P]
+//       Fetch and print the daemon's STATS document (JSON: uptime, QPS,
+//       latency percentiles, cache counters, merged search ledger).
 //   hydra methods
 //       Print the method traits matrix (quality modes, concurrency,
 //       persistence).
@@ -60,6 +76,10 @@
 //   --max-raw N      budget: stop after N raw series examinations
 // A mode the chosen method does not advertise is rejected up front with
 // the traits-derived reason — never silently answered exactly.
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
@@ -81,6 +101,8 @@
 #include "gen/workload.h"
 #include "io/disk_model.h"
 #include "io/series_file.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "shard/sharded_index.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -105,6 +127,14 @@ int Usage() {
                "[--index <dir>] [--shards N] [--threads N] "
                "[--query-threads N]\n"
                "  hydra compare <data.bin> [queries=10] [--threads N]\n"
+               "  hydra serve <data.bin> <method> [--index <dir>] "
+               "[--shards N] [--port P]\n"
+               "              [--serve-threads N] [--cache-mb M] "
+               "[--max-inflight Q]\n"
+               "  hydra ping [--port P]\n"
+               "  hydra queryd <data.bin> <k> [queries=10] [--port P] "
+               "[spec flags]\n"
+               "  hydra stats [--port P]\n"
                "  hydra methods\n"
                "  hydra kernels [names]\n"
                "\n"
@@ -428,6 +458,96 @@ bool CheckQueryThreads(const core::MethodTraits& traits,
   return false;
 }
 
+/// The daemon flags of `hydra serve` (and --port of the client modes),
+/// extracted and validated through the ParseUint path: every malformed or
+/// absurd value exits 1, never reaches a CHECK abort or std::thread throw.
+struct ServeFlags {
+  uint64_t port = 7700;
+  uint64_t serve_threads = 1;
+  uint64_t cache_mb = 64;
+  uint64_t max_inflight = 64;
+  bool had_port = false;
+  bool had_daemon_flags = false;  // --serve-threads/--cache-mb/--max-inflight
+};
+
+bool ExtractServeFlags(std::vector<char*>* args, ServeFlags* flags) {
+  const size_t before = args->size();
+  const char* port = nullptr;
+  const char* serve_threads = nullptr;
+  const char* cache_mb = nullptr;
+  const char* max_inflight = nullptr;
+  if (!ExtractOption(args, "--port", &port) ||
+      !ExtractOption(args, "--serve-threads", &serve_threads) ||
+      !ExtractOption(args, "--cache-mb", &cache_mb) ||
+      !ExtractOption(args, "--max-inflight", &max_inflight)) {
+    return false;
+  }
+  flags->had_port = port != nullptr;
+  flags->had_daemon_flags = args->size() != before - (port != nullptr ? 2 : 0);
+  if (port != nullptr) {
+    // 0 = ephemeral: the daemon prints the port the kernel picked.
+    if (!ParseUint(port, &flags->port) || flags->port > 65535) {
+      std::fprintf(stderr,
+                   "error: --port must be an integer in [0, 65535], got "
+                   "'%s'\n",
+                   port);
+      return false;
+    }
+  }
+  if (serve_threads != nullptr) {
+    constexpr uint64_t kMaxServeThreads = 1024;
+    if (!ParseUint(serve_threads, &flags->serve_threads) ||
+        flags->serve_threads == 0 ||
+        flags->serve_threads > kMaxServeThreads) {
+      std::fprintf(stderr,
+                   "error: --serve-threads must be an integer in [1, %llu], "
+                   "got '%s'\n",
+                   static_cast<unsigned long long>(kMaxServeThreads),
+                   serve_threads);
+      return false;
+    }
+  }
+  if (cache_mb != nullptr) {
+    // 0 disables the cache; the cap keeps the budget inside size_t range
+    // on any platform.
+    constexpr uint64_t kMaxCacheMb = 4096;
+    if (!ParseUint(cache_mb, &flags->cache_mb) ||
+        flags->cache_mb > kMaxCacheMb) {
+      std::fprintf(stderr,
+                   "error: --cache-mb must be an integer in [0, %llu], got "
+                   "'%s'\n",
+                   static_cast<unsigned long long>(kMaxCacheMb), cache_mb);
+      return false;
+    }
+  }
+  if (max_inflight != nullptr) {
+    constexpr uint64_t kMaxInflight = uint64_t{1} << 20;
+    if (!ParseUint(max_inflight, &flags->max_inflight) ||
+        flags->max_inflight == 0 || flags->max_inflight > kMaxInflight) {
+      std::fprintf(stderr,
+                   "error: --max-inflight must be an integer in [1, %llu], "
+                   "got '%s'\n",
+                   static_cast<unsigned long long>(kMaxInflight),
+                   max_inflight);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Self-pipe bridging POSIX signals into the serve loop: the handler only
+/// writes one identifying byte, everything real (drain, re-open) happens
+/// on the main thread outside signal context.
+int g_serve_signal_pipe[2] = {-1, -1};
+
+extern "C" void ServeSignalHandler(int sig) {
+  const char byte = sig == SIGHUP ? 'H' : 'Q';
+  // A full pipe just drops the byte; the pending signal of the same kind
+  // is already queued for processing.
+  [[maybe_unused]] const ssize_t ignored =
+      ::write(g_serve_signal_pipe[1], &byte, 1);
+}
+
 int CmdGen(int argc, char** argv) {
   if (argc != 7) return Usage();
   const std::string family = argv[2];
@@ -510,6 +630,191 @@ void PrintShardLayout(const core::SearchMethod& method, uint64_t threads) {
       std::min<size_t>(static_cast<size_t>(threads), sharded->shard_count());
   std::printf("sharded over %zu shards (fan-out threads: %zu)\n",
               sharded->shard_count(), workers);
+}
+
+int CmdServe(int argc, char** argv, uint64_t threads, uint64_t shards,
+             const char* index_dir, const ServeFlags& flags) {
+  if (argc != 4) return Usage();
+  if (!IsKnownMethod(argv[3])) return BadMethod(argv[3]);
+  auto method = MakeMethod(argv[3], shards, threads);
+  if (method == nullptr) return 1;
+  const core::MethodTraits traits = method->traits();
+  if (index_dir != nullptr && !traits.supports_persistence) {
+    std::fprintf(stderr, "error: %s does not support --index (%s)\n",
+                 method->name().c_str(), traits.persistence_reason.c_str());
+    return 1;
+  }
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  if (!BuildOrOpen(method.get(), data, index_dir)) return 1;
+  if (shards > 0) PrintShardLayout(*method, threads);
+
+  if (::pipe(g_serve_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = ServeSignalHandler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGHUP, &action, nullptr);
+
+  serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.port);
+  options.serve_threads = static_cast<size_t>(flags.serve_threads);
+  options.cache_bytes = static_cast<size_t>(flags.cache_mb) << 20;
+  options.max_inflight = static_cast<size_t>(flags.max_inflight);
+  serve::Server server(std::move(options));
+  std::shared_ptr<core::SearchMethod> shared(std::move(method));
+  const util::Status started = server.Start(shared, &data);
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  // Scripts parse this line for the bound port; flush so a backgrounded
+  // daemon publishes it before the first client connects.
+  std::printf("hydra serve: %s on 127.0.0.1:%u (serve-threads %llu, "
+              "cache %llu MiB, max-inflight %llu)\n",
+              shared->name().c_str(), server.port(),
+              static_cast<unsigned long long>(flags.serve_threads),
+              static_cast<unsigned long long>(flags.cache_mb),
+              static_cast<unsigned long long>(flags.max_inflight));
+  std::fflush(stdout);
+
+  for (;;) {
+    char byte = 0;
+    const ssize_t n = ::read(g_serve_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // pipe broken — treat as shutdown
+    if (byte == 'H') {
+      // Re-open (or rebuild) the index without dropping the listener:
+      // in-flight queries finish on the old instance, the cache stays
+      // valid (same dataset fingerprint, exact answers only).
+      auto fresh = MakeMethod(argv[3], shards, threads);
+      if (fresh == nullptr || !BuildOrOpen(fresh.get(), data, index_dir)) {
+        std::fprintf(stderr,
+                     "hydra serve: reload failed; keeping the current "
+                     "index\n");
+        continue;
+      }
+      server.Reload(std::shared_ptr<core::SearchMethod>(std::move(fresh)));
+      std::printf("hydra serve: index reloaded\n");
+      std::fflush(stdout);
+      continue;
+    }
+    break;  // SIGINT/SIGTERM: drain and exit
+  }
+  std::printf("hydra serve: draining in-flight queries\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("hydra serve: stopped\n%s\n", server.StatsJson().c_str());
+  return 0;
+}
+
+int CmdPing(const ServeFlags& flags) {
+  serve::Client client;
+  util::WallTimer timer;
+  util::Status s =
+      client.Connect("127.0.0.1", static_cast<uint16_t>(flags.port));
+  if (s.ok()) s = client.Ping();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("pong from 127.0.0.1:%llu (%.2f ms)\n",
+              static_cast<unsigned long long>(flags.port),
+              timer.Seconds() * 1e3);
+  return 0;
+}
+
+int CmdStats(const ServeFlags& flags) {
+  serve::Client client;
+  util::Status s =
+      client.Connect("127.0.0.1", static_cast<uint16_t>(flags.port));
+  std::string json;
+  if (s.ok()) s = client.Stats(&json);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+int CmdQueryd(int argc, char** argv, const QueryFlags& flags,
+              const ServeFlags& serve_flags) {
+  if (argc < 4) return Usage();
+  uint64_t k = 0;
+  if (!ParseUint(argv[3], &k)) return BadNumber("k", argv[3]);
+  if (k == 0) {
+    std::fprintf(stderr, "error: k must be positive\n");
+    return 1;
+  }
+  uint64_t queries = 10;
+  if (argc > 4 && !ParseUint(argv[4], &queries)) {
+    return BadNumber("queries", argv[4]);
+  }
+  // Client-side parsing is syntactic only: the *server's* method traits
+  // decide which modes are honestly answerable, and it refuses with a
+  // BAD_QUERY frame — so validate against permissive traits here.
+  core::MethodTraits permissive;
+  permissive.supports_ng = true;
+  permissive.supports_epsilon = true;
+  permissive.supports_delta_epsilon = true;
+  permissive.leaf_visit_budget = true;
+  core::QuerySpec spec = core::QuerySpec::Knn(k);
+  if (!BuildQuerySpec(flags, permissive, "the served method", &spec)) {
+    return 1;
+  }
+  auto loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const core::Dataset data = std::move(loaded).value();
+  const gen::Workload probe = gen::CtrlWorkload(data, queries, 1);
+
+  serve::Client client;
+  const util::Status connected =
+      client.Connect("127.0.0.1", static_cast<uint16_t>(serve_flags.port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.message().c_str());
+    return 1;
+  }
+  size_t cached = 0;
+  for (size_t q = 0; q < probe.queries.size(); ++q) {
+    serve::QueryRequest request;
+    request.spec = spec;
+    request.query.assign(probe.queries[q].begin(), probe.queries[q].end());
+    serve::AnswerResponse answer;
+    const util::Status s = client.Query(request, &answer);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: query %zu: %s\n", q, s.message().c_str());
+      return 1;
+    }
+    if (answer.cached) ++cached;
+    // Byte-identical to the `hydra query` per-query line, so a served
+    // answer stream can be diffed against a direct run.
+    const core::QueryResult& r = answer.result;
+    std::printf("query %2zu: ", q);
+    for (const auto& n : r.neighbors) {
+      std::printf("(%u, %.3f) ", n.id, std::sqrt(n.dist_sq));
+    }
+    std::printf("[examined %lld, seeks %lld, mode %s%s]\n",
+                static_cast<long long>(r.stats.raw_series_examined),
+                static_cast<long long>(r.stats.random_seeks),
+                core::QualityModeName(r.delivered()),
+                r.budget_fired() ? ", budget exhausted" : "");
+  }
+  std::printf("answered %zu queries via 127.0.0.1:%llu (%zu from cache)\n",
+              probe.queries.size(),
+              static_cast<unsigned long long>(serve_flags.port), cached);
+  return 0;
 }
 
 int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
@@ -834,14 +1139,31 @@ int Main(int argc, char** argv) {
   if (!ExtractOption(&args, "--index", &index_dir)) return 1;
   const char* kernels = nullptr;
   if (!ExtractOption(&args, "--kernels", &kernels)) return 1;
+  ServeFlags serve_flags;
+  if (!ExtractServeFlags(&args, &serve_flags)) return 1;
   if (args.size() < 2) return Usage();  // argv was only flags
   const int n = static_cast<int>(args.size());
   const std::string cmd = args[1];
   // Only the sharding-capable commands accept --shards; stripping it
   // silently elsewhere would let users believe e.g. a compare ran sharded.
-  if (shards > 0 && cmd != "build" && cmd != "query" && cmd != "range") {
+  if (shards > 0 && cmd != "build" && cmd != "query" && cmd != "range" &&
+      cmd != "serve") {
     std::fprintf(stderr, "error: --shards is only supported by 'build', "
-                         "'query', and 'range'\n");
+                         "'query', 'range', and 'serve'\n");
+    return 1;
+  }
+  // The daemon/client flags belong to the serve family only; swallowing
+  // them elsewhere would let users believe e.g. a query was admission-
+  // controlled.
+  if (serve_flags.had_port && cmd != "serve" && cmd != "ping" &&
+      cmd != "queryd" && cmd != "stats") {
+    std::fprintf(stderr, "error: --port is only supported by 'serve', "
+                         "'ping', 'queryd', and 'stats'\n");
+    return 1;
+  }
+  if (serve_flags.had_daemon_flags && cmd != "serve") {
+    std::fprintf(stderr, "error: --serve-threads/--cache-mb/--max-inflight "
+                         "are only supported by 'serve'\n");
     return 1;
   }
   // --threads is the batch concurrency on query/compare, and the sharded
@@ -854,6 +1176,9 @@ int Main(int argc, char** argv) {
                          "--shards)\n");
     return 1;
   }
+  // Under serve, --threads is meaningful only as the sharded fan-out
+  // width (the daemon's own concurrency is --serve-threads) — the gate
+  // above already enforces that by requiring --shards.
   // --query-threads shapes a single query's traversal, which only the
   // query-answering commands run; swallowing it elsewhere would let
   // users believe e.g. a build was traversal-parallel.
@@ -864,16 +1189,19 @@ int Main(int argc, char** argv) {
   }
   // The QuerySpec flags only shape k-NN queries; swallowing them
   // elsewhere would let users believe e.g. a range query was approximate.
-  if (had_spec_flags && cmd != "query") {
+  if (had_spec_flags && cmd != "query" && cmd != "queryd") {
     std::fprintf(stderr, "error: --mode/--epsilon/--delta/--max-leaves/"
-                         "--max-raw are only supported by 'query'\n");
+                         "--max-raw are only supported by 'query' and "
+                         "'queryd'\n");
     return 1;
   }
-  // Same honesty for --index: only the query-answering commands can open
-  // a persisted index (`build` writes one, it never reads one).
-  if (index_dir != nullptr && cmd != "query" && cmd != "range") {
-    std::fprintf(stderr, "error: --index is only supported by 'query' and "
-                         "'range'\n");
+  // Same honesty for --index: only the query-answering commands (and the
+  // daemon) can open a persisted index (`build` writes one, it never
+  // reads one).
+  if (index_dir != nullptr && cmd != "query" && cmd != "range" &&
+      cmd != "serve") {
+    std::fprintf(stderr, "error: --index is only supported by 'query', "
+                         "'range', and 'serve'\n");
     return 1;
   }
   // An unusable HYDRA_KERNELS must exit cleanly for every command — the
@@ -906,6 +1234,12 @@ int Main(int argc, char** argv) {
                     index_dir);
   }
   if (cmd == "compare") return CmdCompare(n, args.data(), threads);
+  if (cmd == "serve") {
+    return CmdServe(n, args.data(), threads, shards, index_dir, serve_flags);
+  }
+  if (cmd == "ping") return CmdPing(serve_flags);
+  if (cmd == "queryd") return CmdQueryd(n, args.data(), flags, serve_flags);
+  if (cmd == "stats") return CmdStats(serve_flags);
   if (cmd == "methods") return CmdMethods();
   if (cmd == "kernels") return CmdKernels(n, args.data());
   return Usage();
