@@ -11,6 +11,22 @@ Dataset::Dataset(std::string name, size_t length)
   HYDRA_CHECK_MSG(length_ > 0, "Dataset series length must be positive");
 }
 
+Dataset Dataset::BorrowedView(std::string name, const Value* values,
+                              size_t count, size_t length) {
+  HYDRA_CHECK_MSG(length > 0, "BorrowedView series length must be positive");
+  HYDRA_CHECK_MSG(values != nullptr || count == 0,
+                  "BorrowedView needs a buffer for a non-empty dataset");
+  Dataset view;
+  view.name_ = std::move(name);
+  view.length_ = length;
+  view.count_ = count;
+  // A zero-length borrow still needs a non-null marker so the view stays
+  // read-only (is_slice) even when empty.
+  static const Value kEmptyMarker = 0;
+  view.borrowed_ = values != nullptr ? values : &kEmptyMarker;
+  return view;
+}
+
 void Dataset::Append(SeriesView series) {
   HYDRA_CHECK_MSG(!is_slice(), "Append on a slice (slices are read-only)");
   HYDRA_CHECK_MSG(series.size() == length_, "Append: series length mismatch");
@@ -33,6 +49,11 @@ Dataset Dataset::Slice(size_t begin, size_t count) const {
   slice.length_ = length_;
   slice.count_ = count;
   slice.borrowed_ = data() + begin * length_;
+  // File-backed datasets hand their verification-read source down to every
+  // slice (shard views stay zero-copy and pool-served); the base shifts so
+  // the slice's local ids address the right file series.
+  slice.raw_source_ = raw_source_;
+  slice.raw_base_ = raw_base_ + begin;
   return slice;
 }
 

@@ -10,6 +10,8 @@
 
 namespace hydra::core {
 
+class RawSeriesSource;
+
 /// A collection of equal-length data series stored contiguously
 /// (series-major), mirroring the raw binary files of the paper's framework.
 ///
@@ -24,11 +26,29 @@ namespace hydra::core {
 /// data.Slice(begin_i, count_i) and addresses series by *local* id in
 /// [0, count_i); the sharded container maps local ids back to global ones
 /// by adding begin_i. Slices are read-only and never copy series values.
+///
+/// A dataset may additionally carry a RawSeriesSource (the out-of-core
+/// storage layer's buffer pool; see core/raw_source.h). operator[] and
+/// values() always read the backing buffer directly — for a file-backed
+/// dataset that buffer is the read-only mmap view, so bulk access (index
+/// construction, scans) streams through the kernel page cache — while
+/// io::CountedStorage routes the query-time verification reads through the
+/// source so they become real, measured, budget-bounded I/O. Slices
+/// propagate the source with their offset, so sharded slices over a
+/// file-backed dataset compose zero-copy.
 class Dataset {
  public:
   Dataset() = default;
   /// Creates an empty dataset of `length`-point series.
   Dataset(std::string name, size_t length);
+
+  /// Creates a read-only dataset over an externally owned series-major
+  /// buffer (the storage layer's mmap view). Like a slice, the result
+  /// borrows: `values` must stay valid and unchanged for the dataset's
+  /// lifetime, and mutators CHECK-abort. `count` may be 0; `length` must
+  /// be positive.
+  static Dataset BorrowedView(std::string name, const Value* values,
+                              size_t count, size_t length);
 
   /// Appends one series; `series.size()` must equal `length()`.
   /// CHECK-aborts on a slice (slices are read-only views).
@@ -67,6 +87,21 @@ class Dataset {
   /// True when this dataset borrows another's buffer (see Slice).
   bool is_slice() const { return borrowed_ != nullptr; }
 
+  /// Attaches the raw-series source serving this dataset's verification
+  /// reads (called once by the storage layer on the dataset it returns;
+  /// `source` must outlive the dataset and every slice cut from it).
+  /// `base` is the index of this dataset's first series within the source.
+  void AttachRawSource(RawSeriesSource* source, size_t base = 0) {
+    raw_source_ = source;
+    raw_base_ = base;
+  }
+  /// The attached raw-series source, or nullptr for a fully RAM-resident
+  /// dataset (reads stay pointer dereferences).
+  RawSeriesSource* raw_source() const { return raw_source_; }
+  /// Index of this dataset's series 0 within raw_source() — nonzero for
+  /// slices of a file-backed dataset.
+  size_t raw_base() const { return raw_base_; }
+
   /// Mutable access for generators that fill series in place.
   /// CHECK-aborts on a slice.
   Value* AppendUninitialized();
@@ -88,6 +123,10 @@ class Dataset {
   std::vector<Value> values_;
   /// Borrowed series-major buffer of a slice; nullptr for owning datasets.
   const Value* borrowed_ = nullptr;
+  /// Out-of-core verification-read source (see AttachRawSource); nullptr
+  /// for RAM-resident datasets.
+  RawSeriesSource* raw_source_ = nullptr;
+  size_t raw_base_ = 0;
 };
 
 /// Z-normalizes `series` in place. Near-constant input becomes all zeros.

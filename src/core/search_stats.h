@@ -68,6 +68,21 @@ struct SearchStats {
   int64_t random_seeks = 0;
   /// Bytes fetched from the simulated raw/leaf/approximation files.
   int64_t bytes_read = 0;
+  /// *Measured* buffer-pool counters (storage::BufferPool): raw-series
+  /// verification reads served from an already-resident page (hits) vs.
+  /// reads that had to pread a page in from the data file (misses). These
+  /// count real I/O the process performed, never modeled I/O — they stay
+  /// zero on the in-RAM backend and must never be mixed with the modeled
+  /// sequential_reads/random_seeks/bytes_read above (io::DiskModel converts
+  /// only the modeled counters to seconds).
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  /// Resident pages dropped to make room for a missed page.
+  int64_t pool_evictions = 0;
+  /// pread(2) calls issued by pool page fetches (one per miss).
+  int64_t pool_pread_calls = 0;
+  /// Bytes actually transferred by those pread calls.
+  int64_t pool_bytes_read = 0;
   /// *Measured* wall-clock compute seconds of the query. Excludes modeled
   /// I/O time (io::DiskModel derives that from the counters above).
   double cpu_seconds = 0.0;
@@ -92,6 +107,11 @@ struct SearchStats {
     sequential_reads += other.sequential_reads;
     random_seeks += other.random_seeks;
     bytes_read += other.bytes_read;
+    pool_hits += other.pool_hits;
+    pool_misses += other.pool_misses;
+    pool_evictions += other.pool_evictions;
+    pool_pread_calls += other.pool_pread_calls;
+    pool_bytes_read += other.pool_bytes_read;
     cpu_seconds += other.cpu_seconds;
     answer_mode_delivered =
         std::max(answer_mode_delivered, other.answer_mode_delivered);

@@ -1,0 +1,56 @@
+// Streaming series emitters: one generator family as a stateful object
+// that produces series one at a time, so `hydra gen` can write corpora
+// larger than memory in chunks (io::SeriesFileWriter) instead of
+// materializing a Dataset. Emission order and RNG consumption match the
+// whole-dataset generators exactly, and each series is z-normalized
+// independently (ZNormalizeAll is per-series), so streaming N series
+// yields byte-identical files to the in-memory path.
+#ifndef HYDRA_GEN_EMITTER_H_
+#define HYDRA_GEN_EMITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace hydra::gen {
+
+/// Emits an endless sequence of `length`-point z-normalized series.
+/// Stateful (owns the family RNG): series i is defined by the emitter's
+/// construction seed and the i-1 emissions before it.
+class SeriesEmitter {
+ public:
+  SeriesEmitter(std::string name, size_t length)
+      : name_(std::move(name)), length_(length) {}
+  virtual ~SeriesEmitter() = default;
+
+  /// Display name of the family's dataset ("Synth", "Seismic", ...).
+  const std::string& name() const { return name_; }
+  size_t length() const { return length_; }
+
+  /// Writes the next series (length() values) into `row`, z-normalized.
+  void Emit(core::Value* row) {
+    EmitRaw(row);
+    core::ZNormalize(std::span<core::Value>(row, length_));
+  }
+
+ protected:
+  /// Writes the next un-normalized series into `row`.
+  virtual void EmitRaw(core::Value* row) = 0;
+
+ private:
+  std::string name_;
+  size_t length_;
+};
+
+/// Emitter for `family` ("synth", "seismic", "astro", "sald", "deep";
+/// must satisfy IsKnownFamily — CHECK-aborts otherwise).
+std::unique_ptr<SeriesEmitter> MakeEmitter(const std::string& family,
+                                           size_t length, uint64_t seed);
+
+}  // namespace hydra::gen
+
+#endif  // HYDRA_GEN_EMITTER_H_

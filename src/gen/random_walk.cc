@@ -4,20 +4,26 @@
 
 namespace hydra::gen {
 
+RandomWalkEmitter::RandomWalkEmitter(size_t length, uint64_t seed,
+                                     const std::string& name)
+    : SeriesEmitter(name, length), rng_(seed) {}
+
+void RandomWalkEmitter::EmitRaw(core::Value* row) {
+  double walk = 0.0;
+  for (size_t j = 0; j < length(); ++j) {
+    walk += rng_.Gaussian();
+    row[j] = static_cast<core::Value>(walk);
+  }
+}
+
 core::Dataset RandomWalkDataset(size_t count, size_t length, uint64_t seed,
                                 const std::string& name) {
-  util::Rng rng(seed);
+  RandomWalkEmitter emitter(length, seed, name);
   core::Dataset data(name, length);
   data.Reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    core::Value* row = data.AppendUninitialized();
-    double walk = 0.0;
-    for (size_t j = 0; j < length; ++j) {
-      walk += rng.Gaussian();
-      row[j] = static_cast<core::Value>(walk);
-    }
+    emitter.Emit(data.AppendUninitialized());
   }
-  data.ZNormalizeAll();
   return data;
 }
 

@@ -5,10 +5,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/dataset.h"
+#include "gen/emitter.h"
+#include "util/rng.h"
 
 namespace hydra::gen {
+
+/// Streaming random-walk emitter (see gen/emitter.h).
+class RandomWalkEmitter : public SeriesEmitter {
+ public:
+  RandomWalkEmitter(size_t length, uint64_t seed,
+                    const std::string& name = "Synth");
+
+ protected:
+  void EmitRaw(core::Value* row) override;
+
+ private:
+  util::Rng rng_;
+};
 
 /// Generates `count` z-normalized random-walk series of `length` points.
 core::Dataset RandomWalkDataset(size_t count, size_t length, uint64_t seed,

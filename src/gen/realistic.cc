@@ -1,31 +1,41 @@
 #include "gen/realistic.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
+#include "gen/emitter.h"
 #include "gen/random_walk.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace hydra::gen {
+namespace {
 
-core::Dataset SeismicLikeDataset(size_t count, size_t length, uint64_t seed) {
-  util::Rng rng(seed);
-  core::Dataset data("Seismic", length);
-  data.Reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    core::Value* row = data.AppendUninitialized();
+// The four realistic emitters below hold the family RNG and produce one
+// series per Emit; the whole-dataset functions and `hydra gen`'s streaming
+// writer share them, so both paths are byte-identical by construction.
+
+class SeismicEmitter : public SeriesEmitter {
+ public:
+  SeismicEmitter(size_t length, uint64_t seed)
+      : SeriesEmitter("Seismic", length), rng_(seed) {}
+
+ protected:
+  void EmitRaw(core::Value* row) override {
+    const size_t length = this->length();
     for (size_t j = 0; j < length; ++j) {
-      row[j] = static_cast<core::Value>(0.3 * rng.Gaussian());
+      row[j] = static_cast<core::Value>(0.3 * rng_.Gaussian());
     }
-    const int events = 1 + rng.Poisson(1.5);
+    const int events = 1 + rng_.Poisson(1.5);
     for (int e = 0; e < events; ++e) {
       const size_t onset = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(length) - 1));
-      const double amplitude = std::exp(rng.Gaussian(1.0, 0.6));
-      const double freq = rng.Uniform(0.05, 0.35);     // cycles per sample
-      const double decay = rng.Uniform(0.02, 0.1);     // envelope decay rate
-      const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+          rng_.UniformInt(0, static_cast<int64_t>(length) - 1));
+      const double amplitude = std::exp(rng_.Gaussian(1.0, 0.6));
+      const double freq = rng_.Uniform(0.05, 0.35);   // cycles per sample
+      const double decay = rng_.Uniform(0.02, 0.1);   // envelope decay rate
+      const double phase = rng_.Uniform(0.0, 2.0 * M_PI);
       for (size_t j = onset; j < length; ++j) {
         const double t = static_cast<double>(j - onset);
         row[j] += static_cast<core::Value>(
@@ -34,22 +44,25 @@ core::Dataset SeismicLikeDataset(size_t count, size_t length, uint64_t seed) {
       }
     }
   }
-  data.ZNormalizeAll();
-  return data;
-}
 
-core::Dataset AstroLikeDataset(size_t count, size_t length, uint64_t seed) {
-  util::Rng rng(seed);
-  core::Dataset data("Astro", length);
-  data.Reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    core::Value* row = data.AppendUninitialized();
+ private:
+  util::Rng rng_;
+};
+
+class AstroEmitter : public SeriesEmitter {
+ public:
+  AstroEmitter(size_t length, uint64_t seed)
+      : SeriesEmitter("Astro", length), rng_(seed) {}
+
+ protected:
+  void EmitRaw(core::Value* row) override {
+    const size_t length = this->length();
     const double period =
-        rng.Uniform(static_cast<double>(length) / 8.0,
-                    static_cast<double>(length) / 2.0);
-    const double base_phase = rng.Uniform(0.0, 2.0 * M_PI);
+        rng_.Uniform(static_cast<double>(length) / 8.0,
+                     static_cast<double>(length) / 2.0);
+    const double base_phase = rng_.Uniform(0.0, 2.0 * M_PI);
     double harmonics[3];
-    for (double& h : harmonics) h = std::exp(rng.Gaussian(0.0, 0.5));
+    for (double& h : harmonics) h = std::exp(rng_.Gaussian(0.0, 0.5));
     harmonics[1] *= 0.5;
     harmonics[2] *= 0.25;
     for (size_t j = 0; j < length; ++j) {
@@ -59,91 +72,145 @@ core::Dataset AstroLikeDataset(size_t count, size_t length, uint64_t seed) {
         v += harmonics[h] *
              std::sin(2.0 * M_PI * (h + 1) * t / period + base_phase * (h + 1));
       }
-      row[j] = static_cast<core::Value>(v + 0.2 * rng.Gaussian());
+      row[j] = static_cast<core::Value>(v + 0.2 * rng_.Gaussian());
     }
   }
-  data.ZNormalizeAll();
-  return data;
-}
 
-core::Dataset SaldLikeDataset(size_t count, size_t length, uint64_t seed) {
-  util::Rng rng(seed);
-  core::Dataset data("SALD", length);
-  data.Reserve(count);
-  constexpr double kAr = 0.97;  // strong autocorrelation: smooth signals
-  for (size_t i = 0; i < count; ++i) {
-    core::Value* row = data.AppendUninitialized();
-    double state = rng.Gaussian();
+ private:
+  util::Rng rng_;
+};
+
+class SaldEmitter : public SeriesEmitter {
+ public:
+  SaldEmitter(size_t length, uint64_t seed)
+      : SeriesEmitter("SALD", length), rng_(seed) {}
+
+ protected:
+  void EmitRaw(core::Value* row) override {
+    constexpr double kAr = 0.97;  // strong autocorrelation: smooth signals
+    const size_t length = this->length();
+    double state = rng_.Gaussian();
     const double drift_period =
-        rng.Uniform(static_cast<double>(length) / 2.0,
-                    static_cast<double>(length) * 2.0);
-    const double drift_phase = rng.Uniform(0.0, 2.0 * M_PI);
+        rng_.Uniform(static_cast<double>(length) / 2.0,
+                     static_cast<double>(length) * 2.0);
+    const double drift_phase = rng_.Uniform(0.0, 2.0 * M_PI);
     for (size_t j = 0; j < length; ++j) {
-      state = kAr * state + std::sqrt(1.0 - kAr * kAr) * rng.Gaussian();
+      state = kAr * state + std::sqrt(1.0 - kAr * kAr) * rng_.Gaussian();
       const double drift =
           0.8 * std::sin(2.0 * M_PI * static_cast<double>(j) / drift_period +
                          drift_phase);
       row[j] = static_cast<core::Value>(state + drift);
     }
   }
-  data.ZNormalizeAll();
-  return data;
-}
 
-core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed) {
-  util::Rng rng(seed);
-  core::Dataset data("Deep1B", length);
-  data.Reserve(count);
-  // Shared random mixing matrix: latent factors spread across all positions,
-  // so no short prefix of any fixed transform captures most of the energy.
-  const size_t rank = std::max<size_t>(4, length / 8);
-  std::vector<double> mix(rank * length);
-  for (double& m : mix) m = rng.Gaussian() / std::sqrt(static_cast<double>(rank));
-  std::vector<double> latent(rank);
-  for (size_t i = 0; i < count; ++i) {
-    core::Value* row = data.AppendUninitialized();
-    for (double& z : latent) z = rng.Gaussian();
-    for (size_t j = 0; j < length; ++j) {
-      double v = 0.0;
-      for (size_t r = 0; r < rank; ++r) v += latent[r] * mix[r * length + j];
-      row[j] = static_cast<core::Value>(v + 0.4 * rng.Gaussian());
+ private:
+  util::Rng rng_;
+};
+
+class DeepEmitter : public SeriesEmitter {
+ public:
+  DeepEmitter(size_t length, uint64_t seed)
+      : SeriesEmitter("Deep1B", length),
+        rng_(seed),
+        // Shared random mixing matrix: latent factors spread across all
+        // positions, so no short prefix of any fixed transform captures
+        // most of the energy. Drawn before the first series, like the
+        // whole-dataset generator did.
+        rank_(std::max<size_t>(4, length / 8)),
+        mix_(rank_ * length),
+        latent_(rank_) {
+    for (double& m : mix_) {
+      m = rng_.Gaussian() / std::sqrt(static_cast<double>(rank_));
     }
   }
-  data.ZNormalizeAll();
-  return data;
-}
 
-namespace {
+ protected:
+  void EmitRaw(core::Value* row) override {
+    const size_t length = this->length();
+    for (double& z : latent_) z = rng_.Gaussian();
+    for (size_t j = 0; j < length; ++j) {
+      double v = 0.0;
+      for (size_t r = 0; r < rank_; ++r) v += latent_[r] * mix_[r * length + j];
+      row[j] = static_cast<core::Value>(v + 0.4 * rng_.Gaussian());
+    }
+  }
 
-// Single source of truth for the family names: MakeDataset dispatch and
+ private:
+  util::Rng rng_;
+  size_t rank_;
+  std::vector<double> mix_;
+  std::vector<double> latent_;
+};
+
+// Single source of truth for the family names: MakeEmitter dispatch and
 // KnownFamilies both read this table.
-using DatasetFactory = core::Dataset (*)(size_t, size_t, uint64_t);
+using EmitterFactory =
+    std::unique_ptr<SeriesEmitter> (*)(size_t length, uint64_t seed);
 
 struct FamilyEntry {
   const char* name;
-  DatasetFactory make;
+  EmitterFactory make;
 };
+
+template <typename E>
+std::unique_ptr<SeriesEmitter> Make(size_t length, uint64_t seed) {
+  return std::make_unique<E>(length, seed);
+}
 
 constexpr FamilyEntry kFamilyTable[] = {
     {"synth",
-     [](size_t count, size_t length, uint64_t seed) {
-       return RandomWalkDataset(count, length, seed);
+     [](size_t length, uint64_t seed) -> std::unique_ptr<SeriesEmitter> {
+       return std::make_unique<RandomWalkEmitter>(length, seed);
      }},
-    {"seismic", SeismicLikeDataset},
-    {"astro", AstroLikeDataset},
-    {"sald", SaldLikeDataset},
-    {"deep", DeepLikeDataset},
+    {"seismic", Make<SeismicEmitter>},
+    {"astro", Make<AstroEmitter>},
+    {"sald", Make<SaldEmitter>},
+    {"deep", Make<DeepEmitter>},
 };
+
+core::Dataset EmitAll(SeriesEmitter* emitter, size_t count) {
+  core::Dataset data(emitter->name(), emitter->length());
+  data.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    emitter->Emit(data.AppendUninitialized());
+  }
+  return data;
+}
 
 }  // namespace
 
-core::Dataset MakeDataset(const std::string& family, size_t count,
-                          size_t length, uint64_t seed) {
+core::Dataset SeismicLikeDataset(size_t count, size_t length, uint64_t seed) {
+  SeismicEmitter emitter(length, seed);
+  return EmitAll(&emitter, count);
+}
+
+core::Dataset AstroLikeDataset(size_t count, size_t length, uint64_t seed) {
+  AstroEmitter emitter(length, seed);
+  return EmitAll(&emitter, count);
+}
+
+core::Dataset SaldLikeDataset(size_t count, size_t length, uint64_t seed) {
+  SaldEmitter emitter(length, seed);
+  return EmitAll(&emitter, count);
+}
+
+core::Dataset DeepLikeDataset(size_t count, size_t length, uint64_t seed) {
+  DeepEmitter emitter(length, seed);
+  return EmitAll(&emitter, count);
+}
+
+std::unique_ptr<SeriesEmitter> MakeEmitter(const std::string& family,
+                                           size_t length, uint64_t seed) {
   for (const FamilyEntry& entry : kFamilyTable) {
-    if (family == entry.name) return entry.make(count, length, seed);
+    if (family == entry.name) return entry.make(length, seed);
   }
   HYDRA_CHECK_MSG(false, "unknown dataset family");
-  return core::Dataset("", 1);
+  return nullptr;
+}
+
+core::Dataset MakeDataset(const std::string& family, size_t count,
+                          size_t length, uint64_t seed) {
+  return EmitAll(MakeEmitter(family, length, seed).get(), count);
 }
 
 const std::vector<std::string>& KnownFamilies() {

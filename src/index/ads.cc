@@ -192,6 +192,7 @@ core::KnnResult AdsPlus::DoSearchKnn(core::SeriesView query,
           local.Offer(static_cast<core::SeriesId>(i), d);
         }
       });
+  raw_->ReleasePin();  // raw_ outlives the query; never idle on a frame
 
   workers.Finish(plan.k, &result.neighbors);
   result.stats.cpu_seconds = timer.Seconds();
@@ -245,6 +246,7 @@ core::RangeResult AdsPlus::DoSearchRange(core::SeriesView query,
           collector.Offer(static_cast<core::SeriesId>(i), d);
         }
       });
+  raw_->ReleasePin();  // raw_ outlives the query; never idle on a frame
 
   workers.Finish(&result.matches);
   result.stats.cpu_seconds = timer.Seconds();
@@ -275,6 +277,7 @@ core::KnnResult AdsPlus::DoSearchKnnNg(core::SeriesView query, size_t k) {
       heap.Offer(id, d);
     }
   }
+  raw_->ReleasePin();  // raw_ outlives the query; never idle on a frame
   result.neighbors = heap.TakeSorted();
   result.stats.cpu_seconds = timer.Seconds();
   return result;

@@ -80,9 +80,11 @@ void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,
   if (leaf.ids.empty()) return;
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
+  io::CountedStorage raw(data_);
   for (const core::SeriesId id : leaf.ids) {
     if (plan.RawCapReached(stats)) return;
-    const double d = order.Distance((*data_)[id], heap->Bound());
+    const double d = order.Distance(raw.ReadPrecharged(id, stats),
+                                    heap->Bound());
     ++stats->distance_computations;
     ++stats->raw_series_examined;
     heap->Offer(id, d);
@@ -178,8 +180,10 @@ core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
         core::SearchStats& stats = workers.stats(w);
         io::ChargeLeafRead(leaf->ids.size(),
                            data_->length() * sizeof(core::Value), &stats);
+        io::CountedStorage raw(data_);
         for (const core::SeriesId id : leaf->ids) {
-          const double d = order.Distance((*data_)[id], collector.Bound());
+          const double d = order.Distance(raw.ReadPrecharged(id, &stats),
+                                          collector.Bound());
           ++stats.distance_computations;
           ++stats.raw_series_examined;
           collector.Offer(id, d);

@@ -7,6 +7,7 @@
 
 #include "core/distance.h"
 #include "core/traversal.h"
+#include "io/counted_storage.h"
 #include "io/index_codec.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -42,6 +43,14 @@ double MTree::DistToQuery(core::SeriesView query, core::SeriesId id,
                           core::SearchStats* stats) const {
   ++stats->distance_computations;
   return std::sqrt(core::SquaredEuclidean(query, (*data_)[id]));
+}
+
+double MTree::DistToQueryRaw(core::SeriesView query, core::SeriesId id,
+                             io::CountedStorage* raw,
+                             core::SearchStats* stats) const {
+  ++stats->distance_computations;
+  return std::sqrt(
+      core::SquaredEuclidean(query, raw->ReadPrecharged(id, stats)));
 }
 
 core::BuildStats MTree::DoBuild(const core::Dataset& data) {
@@ -336,6 +345,7 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
             return;
           }
           ++leaves[w];
+          io::CountedStorage raw(data_);
           for (const auto& [id, dist_to_center] : node->entries) {
             // Triangle-inequality filter using the precomputed distance.
             if (std::fabs(item.dist_center - dist_to_center) >=
@@ -343,7 +353,7 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
               continue;
             }
             if (plan.RawCapReached(&stats)) break;
-            const double d = DistToQuery(query, id, &stats);
+            const double d = DistToQueryRaw(query, id, &raw, &stats);
             ++stats.raw_series_examined;
             local.Offer(id, d * d);
           }
@@ -404,11 +414,12 @@ core::RangeResult MTree::DoSearchRange(core::SeriesView query,
         core::SearchStats& stats = workers.stats(w);
         ++stats.nodes_visited;
         if (item.node->is_leaf) {
+          io::CountedStorage raw(data_);
           for (const auto& [id, dist_to_center] : item.node->entries) {
             if (std::fabs(item.dist_center - dist_to_center) > radius) {
               continue;
             }
-            const double d = DistToQuery(query, id, &stats);
+            const double d = DistToQueryRaw(query, id, &raw, &stats);
             ++stats.raw_series_examined;
             collector.Offer(id, d * d);
           }

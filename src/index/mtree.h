@@ -9,6 +9,10 @@
 
 #include "core/method.h"
 
+namespace hydra::io {
+class CountedStorage;
+}
+
 namespace hydra::index {
 
 /// Options for the M-tree (the paper's tuned leaf capacity is very small).
@@ -77,6 +81,13 @@ class MTree : public core::SearchMethod {
   double Dist(core::SeriesId a, core::SeriesId b) const;
   double DistToQuery(core::SeriesView query, core::SeriesId id,
                      core::SearchStats* stats) const;
+  /// DistToQuery for leaf members, fetched through `raw` so file-backed
+  /// datasets serve them from the buffer pool. Routing centers keep the
+  /// direct DistToQuery: the M-tree is the paper's memory-resident method,
+  /// so only its leaf *verification* reads touch raw storage.
+  double DistToQueryRaw(core::SeriesView query, core::SeriesId id,
+                        io::CountedStorage* raw,
+                        core::SearchStats* stats) const;
   /// Inserts into the subtree; on overflow returns two replacement routes.
   bool Insert(Node* node, core::SeriesId id, double dist_to_node_center,
               std::unique_ptr<Node>* out_left,

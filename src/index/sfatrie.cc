@@ -290,9 +290,11 @@ void SfaTrie::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
   if (leaf.ids.empty()) return;
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
+  io::CountedStorage raw(data_);
   for (const core::SeriesId id : leaf.ids) {
     if (plan.RawCapReached(stats)) return;
-    const double d = order.Distance((*data_)[id], heap->Bound());
+    const double d = order.Distance(raw.ReadPrecharged(id, stats),
+                                    heap->Bound());
     ++stats->distance_computations;
     ++stats->raw_series_examined;
     heap->Offer(id, d);
@@ -418,8 +420,10 @@ core::RangeResult SfaTrie::DoSearchRange(core::SeriesView query,
         if (item.node->is_leaf) {
           io::ChargeLeafRead(item.node->ids.size(),
                              data_->length() * sizeof(core::Value), &stats);
+          io::CountedStorage raw(data_);
           for (const core::SeriesId id : item.node->ids) {
-            const double d = order.Distance((*data_)[id], collector.Bound());
+            const double d = order.Distance(
+                raw.ReadPrecharged(id, &stats), collector.Bound());
             ++stats.distance_computations;
             ++stats.raw_series_examined;
             collector.Offer(id, d);

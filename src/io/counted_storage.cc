@@ -4,7 +4,10 @@
 
 namespace hydra::io {
 
-CountedStorage::CountedStorage(const core::Dataset* data) : data_(data) {
+CountedStorage::CountedStorage(const core::Dataset* data)
+    : data_(data),
+      source_(data != nullptr ? data->raw_source() : nullptr),
+      base_(data != nullptr ? data->raw_base() : 0) {
   HYDRA_CHECK(data != nullptr);
 }
 
@@ -19,7 +22,13 @@ core::SeriesView CountedStorage::Read(core::SeriesId i,
     stats->bytes_read += static_cast<int64_t>(series_bytes());
   }
   cursor_ = static_cast<int64_t>(i);
-  return (*data_)[i];
+  return Fetch(i, stats);
+}
+
+core::SeriesView CountedStorage::ReadPrecharged(core::SeriesId i,
+                                                core::SearchStats* stats) {
+  HYDRA_DCHECK(i < data_->size());
+  return Fetch(i, stats);
 }
 
 void ChargeLeafRead(size_t series_count, size_t series_bytes,

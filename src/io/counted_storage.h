@@ -1,13 +1,22 @@
-// Instrumented access to the simulated raw data file. The paper's datasets
-// live on disk; ours live in memory but every access is charged to the
-// SearchStats ledger with the paper's sequential/random semantics, so access
-// patterns (and hence modeled I/O times) are faithful.
+// Instrumented access to the raw data file. Two ledgers meet here:
+//   - *modeled* counters (sequential_reads / random_seeks / bytes_read),
+//     charged with the paper's sequential/random semantics and converted
+//     to seconds by io::DiskModel — these exist for every backend;
+//   - *measured* counters (pool_hits / pool_misses / ...), recorded only
+//     when the dataset is file-backed (Dataset::raw_source() non-null):
+//     the read is then served by the storage layer's buffer pool as a
+//     real pread instead of a pointer dereference.
+// The two never mix: routing a read through the pool does not change what
+// is charged to the model, and the pool's counters are never fed to the
+// DiskModel. Answers are bit-identical either way — the backend changes
+// where the bytes live, never which bytes are compared.
 #ifndef HYDRA_IO_COUNTED_STORAGE_H_
 #define HYDRA_IO_COUNTED_STORAGE_H_
 
 #include <cstdint>
 
 #include "core/dataset.h"
+#include "core/raw_source.h"
 #include "core/search_stats.h"
 #include "core/types.h"
 
@@ -19,15 +28,36 @@ namespace hydra::io {
 /// series i-1; otherwise it costs one random seek plus the read itself.
 /// This reproduces the paper's skip-sequential accounting for ADS+ and
 /// VA+file: every skip is one random access.
+///
+/// The returned view stays valid until this reader's next Read /
+/// ReadPrecharged (on a pooled dataset the view points into a buffer-pool
+/// frame that the reader keeps pinned only until its next fetch); callers
+/// consume the series — compute its distance — before reading the next.
+/// One CountedStorage serves one thread; concurrent readers each get
+/// their own (they share the pool underneath).
 class CountedStorage {
  public:
   explicit CountedStorage(const core::Dataset* data);
 
-  /// Reads series `i`, charging the access to `stats`.
+  /// Reads series `i`, charging the access to `stats` with the
+  /// skip-sequential model (and recording measured pool counters when the
+  /// dataset is file-backed).
   core::SeriesView Read(core::SeriesId i, core::SearchStats* stats);
+
+  /// Reads series `i` *without* touching the modeled ledger or the
+  /// cursor: for tree-method leaf loops whose modeled cost was already
+  /// charged in bulk by ChargeLeafRead. Measured pool counters are still
+  /// recorded — they track what the storage layer actually did.
+  core::SeriesView ReadPrecharged(core::SeriesId i, core::SearchStats* stats);
 
   /// Forgets the cursor position (e.g., between build and query phases).
   void ResetCursor() { cursor_ = kNoCursor; }
+
+  /// Drops the buffer-pool frame held since the last read (no-op for RAM
+  /// datasets or when nothing is pinned). Long-lived readers call this at
+  /// the end of each query: an idle reader must never sit on a frame —
+  /// that is what makes the pool's blocking wait deadlock-free.
+  void ReleasePin() { pin_.Release(); }
 
   const core::Dataset& data() const { return *data_; }
   size_t series_bytes() const { return data_->length() * sizeof(core::Value); }
@@ -35,7 +65,19 @@ class CountedStorage {
  private:
   static constexpr int64_t kNoCursor = -2;
 
+  /// The one place bytes are fetched: through the pool when the dataset
+  /// is file-backed, by dereference otherwise.
+  core::SeriesView Fetch(core::SeriesId i, core::SearchStats* stats) {
+    if (source_ != nullptr) {
+      return source_->ReadPinned(base_ + i, &pin_, stats);
+    }
+    return (*data_)[i];
+  }
+
   const core::Dataset* data_;
+  core::RawSeriesSource* source_;  // from data->raw_source(); may be null
+  size_t base_;                    // data's offset within the source
+  core::RawSeriesSource::Pin pin_;
   int64_t cursor_ = kNoCursor;
 };
 

@@ -158,6 +158,19 @@ std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
   json.Int(snapshot.merged.random_seeks);
   json.Key("bytes_read");
   json.Int(snapshot.merged.bytes_read);
+  // Measured storage-layer counters (buffer pool); all zero when the
+  // daemon serves the in-RAM backend. Kept beside the modeled counters
+  // above but never mixed with them.
+  json.Key("pool_hits");
+  json.Int(snapshot.merged.pool_hits);
+  json.Key("pool_misses");
+  json.Int(snapshot.merged.pool_misses);
+  json.Key("pool_evictions");
+  json.Int(snapshot.merged.pool_evictions);
+  json.Key("pool_pread_calls");
+  json.Int(snapshot.merged.pool_pread_calls);
+  json.Key("pool_bytes_read");
+  json.Int(snapshot.merged.pool_bytes_read);
   json.Key("cpu_seconds");
   json.Double(snapshot.merged.cpu_seconds);
   json.EndObject();

@@ -1,0 +1,58 @@
+#include "storage/file_dataset.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace hydra::storage {
+
+util::Result<std::unique_ptr<FileDataset>> FileDataset::Open(
+    const std::string& path, const std::string& name,
+    const BufferPoolOptions& pool_options) {
+  auto opened = io::SeriesFile::Open(path);
+  if (!opened.ok()) return opened.status();
+  io::SeriesFile file = std::move(opened).value();
+  void* map = nullptr;
+  const size_t map_bytes =
+      io::SeriesFile::kHeaderBytes + file.count() * file.series_bytes();
+  if (file.count() != 0) {
+    // Map the whole file (header included) so the first value lands at a
+    // 24-byte offset — 4-byte aligned for float access. PROT_READ keeps
+    // the view immutable; MAP_SHARED avoids copy-on-write reservations.
+    map = ::mmap(nullptr, map_bytes, PROT_READ, MAP_SHARED, file.fd(), 0);
+    if (map == MAP_FAILED) {
+      return util::Status::Error("cannot mmap series file: " + path + " (" +
+                                 std::strerror(errno) + ")");
+    }
+  }
+  return std::unique_ptr<FileDataset>(
+      new FileDataset(std::move(file), map, map_bytes, name, pool_options));
+}
+
+FileDataset::FileDataset(io::SeriesFile file, void* map, size_t map_bytes,
+                         const std::string& name,
+                         const BufferPoolOptions& pool_options)
+    : file_(std::move(file)),
+      map_(map),
+      map_bytes_(map_bytes),
+      pool_(&file_, pool_options) {
+  const core::Value* values =
+      map_ != nullptr
+          ? reinterpret_cast<const core::Value*>(
+                static_cast<const char*>(map_) + io::SeriesFile::kHeaderBytes)
+          : nullptr;
+  dataset_ = core::Dataset::BorrowedView(name, values, file_.count(),
+                                         file_.length());
+  dataset_.AttachRawSource(&pool_);
+}
+
+FileDataset::~FileDataset() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+}  // namespace hydra::storage

@@ -1,0 +1,56 @@
+// A dataset opened from disk without loading it: the mmap half of the
+// out-of-core backend. The series file is validated (io::SeriesFile),
+// mapped read-only, and wrapped in a borrowed-view core::Dataset whose
+// bulk access (operator[]/values(): index construction, scans) streams
+// the mapping through the kernel page cache, while query-time
+// verification reads go through the attached storage::BufferPool as
+// real, measured, budget-bounded preads. Slices of dataset() compose
+// zero-copy, pool included — the sharded subsystem works unchanged.
+#ifndef HYDRA_STORAGE_FILE_DATASET_H_
+#define HYDRA_STORAGE_FILE_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "core/dataset.h"
+#include "io/series_file.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace hydra::storage {
+
+class FileDataset {
+ public:
+  /// Opens `path`, validates it, maps it, and builds the pool. Returns an
+  /// error Status (never aborts) for a missing, malformed, truncated, or
+  /// unmappable file. `name` labels the resulting dataset.
+  static util::Result<std::unique_ptr<FileDataset>> Open(
+      const std::string& path, const std::string& name,
+      const BufferPoolOptions& pool_options);
+
+  ~FileDataset();
+  FileDataset(const FileDataset&) = delete;
+  FileDataset& operator=(const FileDataset&) = delete;
+
+  /// The borrowed-view dataset over the mapping, with the pool attached.
+  /// Valid (as are all slices of it) for this FileDataset's lifetime.
+  const core::Dataset& dataset() const { return dataset_; }
+  core::Dataset& dataset() { return dataset_; }
+
+  const io::SeriesFile& file() const { return file_; }
+  const BufferPool& pool() const { return pool_; }
+
+ private:
+  FileDataset(io::SeriesFile file, void* map, size_t map_bytes,
+              const std::string& name, const BufferPoolOptions& pool_options);
+
+  io::SeriesFile file_;
+  void* map_ = nullptr;  // whole file, header included; nullptr for an empty file
+  size_t map_bytes_ = 0;
+  BufferPool pool_;
+  core::Dataset dataset_;
+};
+
+}  // namespace hydra::storage
+
+#endif  // HYDRA_STORAGE_FILE_DATASET_H_

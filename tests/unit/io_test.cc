@@ -167,6 +167,107 @@ TEST(SeriesFile, OverflowingHeaderIsError) {
   std::remove(path.c_str());
 }
 
+TEST(SeriesFile, OpenReadsPositionally) {
+  const auto data = MakeData(6, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_positional.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  auto opened = SeriesFile::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  const SeriesFile file = std::move(opened).value();
+  EXPECT_EQ(file.count(), 6u);
+  EXPECT_EQ(file.length(), 16u);
+  std::vector<core::Value> row(16);
+  ASSERT_TRUE(file.ReadAt(4, row.data()).ok());
+  EXPECT_FLOAT_EQ(row[0], 4.0f);
+  // A block read out of order: positional access has no cursor.
+  std::vector<core::Value> block(3 * 16);
+  ASSERT_TRUE(file.ReadSeries(1, 3, block.data()).ok());
+  EXPECT_FLOAT_EQ(block[0], 1.0f);
+  EXPECT_FLOAT_EQ(block[16], 2.0f);
+  EXPECT_FLOAT_EQ(block[32], 3.0f);
+  ASSERT_TRUE(file.ReadAt(0, row.data()).ok());
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFile, OpenRejectsTruncatedFile) {
+  // Open applies the bulk loader's validation without loading values.
+  const auto data = MakeData(5, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_open_trunc.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  ASSERT_EQ(truncate(path.c_str(), 24 + 3 * 16 * 4), 0);
+  auto r = SeriesFile::Open(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFile, TruncationAfterOpenIsTypedError) {
+  // The SIGBUS trap of a bare mmap: the file shrinks *after* Open. The
+  // pread path must surface a typed error Status, never a signal.
+  const auto data = MakeData(5, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_late_trunc.bin";
+  ASSERT_TRUE(WriteSeriesFile(path, data).ok());
+  auto opened = SeriesFile::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  const SeriesFile file = std::move(opened).value();
+  ASSERT_EQ(truncate(path.c_str(), 24 + 2 * 16 * 4), 0);  // keep 2 of 5
+  std::vector<core::Value> row(16);
+  ASSERT_TRUE(file.ReadAt(1, row.data()).ok());  // still inside the file
+  EXPECT_FLOAT_EQ(row[0], 1.0f);
+  const auto status = file.ReadAt(4, row.data());  // beyond the new end
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status.message();
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFileWriter, StreamsByteIdenticalToBulkWrite) {
+  const auto data = MakeData(9, 16);
+  const std::string bulk = ::testing::TempDir() + "/hydra_bulk.bin";
+  const std::string streamed = ::testing::TempDir() + "/hydra_streamed.bin";
+  ASSERT_TRUE(WriteSeriesFile(bulk, data).ok());
+  auto created = SeriesFileWriter::Create(streamed, 16);
+  ASSERT_TRUE(created.ok()) << created.status().message();
+  SeriesFileWriter writer = std::move(created).value();
+  ASSERT_TRUE(writer.Append(data[0]).ok());  // one series at a time...
+  ASSERT_TRUE(writer.AppendBlock(data[1].data(), 4).ok());  // ...then a block
+  ASSERT_TRUE(writer.AppendBlock(data[5].data(), 4).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  // Byte-for-byte identical, header included.
+  std::FILE* a = std::fopen(bulk.c_str(), "rb");
+  std::FILE* b = std::fopen(streamed.c_str(), "rb");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (;;) {
+    const int ca = std::fgetc(a);
+    const int cb = std::fgetc(b);
+    ASSERT_EQ(ca, cb);
+    if (ca == EOF) break;
+  }
+  std::fclose(a);
+  std::fclose(b);
+  std::remove(bulk.c_str());
+  std::remove(streamed.c_str());
+}
+
+TEST(SeriesFileWriter, UnfinishedFileIsRejectedByReaders) {
+  // A writer that dies before Finish leaves a provisional header (count
+  // 0) against a larger file; every reader must reject it rather than
+  // serve a silently-empty dataset.
+  const auto data = MakeData(3, 16);
+  const std::string path = ::testing::TempDir() + "/hydra_unfinished.bin";
+  {
+    auto created = SeriesFileWriter::Create(path, 16);
+    ASSERT_TRUE(created.ok());
+    SeriesFileWriter writer = std::move(created).value();
+    ASSERT_TRUE(writer.AppendBlock(data[0].data(), 3).ok());
+    // No Finish: the writer goes out of scope with a count-0 header.
+  }
+  EXPECT_FALSE(ReadSeriesFile(path).ok());
+  EXPECT_FALSE(SeriesFile::Open(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SeriesFile, BadMagicIsError) {
   const std::string path = ::testing::TempDir() + "/hydra_bad_magic.bin";
   std::FILE* f = std::fopen(path.c_str(), "wb");
