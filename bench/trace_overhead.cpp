@@ -1,0 +1,224 @@
+// Tracing overhead budget check: the obs span tracer must be near-free
+// when disabled and cheap when enabled, or it cannot stay compiled into
+// the always-on query path. For ADS+, DSTree, and VA+file this bench
+// measures the same k-NN batch with tracing off and on (best-of-N walls
+// to damp scheduler noise) and asserts:
+//
+//   enabled:  batch wall with the tracer recording stays within 15% of
+//             the disabled wall (measured directly);
+//   disabled: a disabled span costs one relaxed atomic load — measured
+//             as ns/span in a tight loop and scaled by the spans each
+//             query actually emits (counted from the enabled run), the
+//             derived per-query overhead must stay under 5%. The derived
+//             bound is used because there is no tracer-free binary to
+//             diff against; the tight loop is the worst case (nothing to
+//             hide the load behind).
+//
+// Exits 1 on a budget violation. Writes BENCH_obs.json (override with
+// --json <path>) so CI can track the overhead across commits.
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/method.h"
+#include "core/query_spec.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace hydra {
+namespace {
+
+constexpr size_t kSeries = 4000;
+constexpr size_t kLength = 128;
+constexpr size_t kQueries = 20;
+constexpr size_t kK = 10;
+constexpr int kRepeats = 5;  // best-of-N: the minimum wall is the signal
+
+/// Wall seconds of one pass over the whole probe batch.
+double BatchSeconds(core::SearchMethod* method, const gen::Workload& probe,
+                    const core::QuerySpec& spec) {
+  util::WallTimer timer;
+  for (size_t q = 0; q < probe.queries.size(); ++q) {
+    const core::QueryResult r = method->Execute(probe.queries[q], spec);
+    if (r.neighbors.empty()) {
+      std::fprintf(stderr, "error: empty answer — bench is broken\n");
+      std::exit(1);
+    }
+  }
+  return timer.Seconds();
+}
+
+/// Interleaved best-of-N walls, tracer off and on: alternating the two
+/// configurations inside one loop cancels cache-warmth and frequency
+/// drift that a measure-all-off-then-all-on order would attribute to
+/// tracing.
+void MeasureBatch(core::SearchMethod* method, const gen::Workload& probe,
+                  const core::QuerySpec& spec, double* off_seconds,
+                  double* on_seconds) {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  BatchSeconds(method, probe, spec);  // warm-up: first-touch is not cost
+  *off_seconds = std::numeric_limits<double>::infinity();
+  *on_seconds = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kRepeats; ++i) {
+    tracer.Disable();
+    *off_seconds = std::min(*off_seconds, BatchSeconds(method, probe, spec));
+    tracer.Enable();
+    *on_seconds = std::min(*on_seconds, BatchSeconds(method, probe, spec));
+    tracer.Clear();  // bounded rings: never let wraparound skew a run
+  }
+  tracer.Disable();
+}
+
+/// ns per HYDRA_OBS_SPAN with the tracer disabled: a tight loop is the
+/// worst case because there is no surrounding work to hide the one
+/// relaxed atomic load behind.
+double DisabledSpanNs() {
+  constexpr int64_t kIters = 20'000'000;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::WallTimer timer;
+    for (int64_t i = 0; i < kIters; ++i) {
+      HYDRA_OBS_SPAN("bench_disabled_probe");
+    }
+    const double ns =
+        timer.Seconds() * 1e9 / static_cast<double>(kIters);
+    best = rep == 0 ? ns : std::min(best, ns);
+  }
+  return best;
+}
+
+struct MethodResult {
+  std::string method;
+  double disabled_seconds = 0.0;
+  double enabled_seconds = 0.0;
+  double enabled_overhead_pct = 0.0;
+  double spans_per_query = 0.0;
+  double derived_disabled_overhead_pct = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  const char* json_path =
+      bench::ExtractJsonPath(&argc, argv, "BENCH_obs.json");
+  bench::Banner("trace_overhead",
+                "span tracer cost, disabled and enabled",
+                "observability must not tax the measured query path");
+
+  const core::Dataset data =
+      gen::RandomWalkDataset(kSeries, kLength, /*seed=*/17);
+  const gen::Workload probe = gen::CtrlWorkload(data, kQueries, 1);
+  const core::QuerySpec spec = core::QuerySpec::Knn(kK);
+  const double disabled_span_ns = DisabledSpanNs();
+  std::printf("disabled span: %.2f ns\n", disabled_span_ns);
+
+  obs::Tracer& tracer = obs::Tracer::Get();
+  util::Table table({"method", "off_s", "on_s", "on_overhead_%",
+                     "spans/query", "off_overhead_%"});
+  std::vector<MethodResult> results;
+  bool failed = false;
+  for (const std::string& name : {std::string("ADS+"),
+                                  std::string("DSTree"),
+                                  std::string("VA+file")}) {
+    auto method = bench::CreateMethod(name);
+    method->Build(data);
+    MethodResult r;
+    r.method = name;
+
+    tracer.Enable();
+    tracer.Clear();
+    BatchSeconds(method.get(), probe, spec);  // span census pass
+    std::vector<obs::CollectedEvent> events;
+    tracer.Collect(&events);
+    r.spans_per_query =
+        static_cast<double>(events.size()) / static_cast<double>(kQueries);
+    tracer.Clear();
+    tracer.Disable();
+    MeasureBatch(method.get(), probe, spec, &r.disabled_seconds,
+                 &r.enabled_seconds);
+
+    r.enabled_overhead_pct = std::max(
+        0.0, 100.0 * (r.enabled_seconds - r.disabled_seconds) /
+                 r.disabled_seconds);
+    const double disabled_cost_s =
+        r.spans_per_query * static_cast<double>(kQueries) *
+        disabled_span_ns * 1e-9;
+    r.derived_disabled_overhead_pct =
+        100.0 * disabled_cost_s / r.disabled_seconds;
+    results.push_back(r);
+    table.AddRow({name, util::Table::Num(r.disabled_seconds, 4),
+                  util::Table::Num(r.enabled_seconds, 4),
+                  util::Table::Num(r.enabled_overhead_pct, 2),
+                  util::Table::Num(r.spans_per_query, 1),
+                  util::Table::Num(r.derived_disabled_overhead_pct, 3)});
+    if (r.enabled_overhead_pct >= 15.0) {
+      std::fprintf(stderr,
+                   "error: %s enabled-tracing overhead %.2f%% exceeds the "
+                   "15%% budget\n",
+                   name.c_str(), r.enabled_overhead_pct);
+      failed = true;
+    }
+    if (r.derived_disabled_overhead_pct >= 5.0) {
+      std::fprintf(stderr,
+                   "error: %s disabled-tracing overhead %.3f%% (derived: "
+                   "%.1f spans/query x %.2f ns) exceeds the 5%% budget\n",
+                   name.c_str(), r.derived_disabled_overhead_pct,
+                   r.spans_per_query, disabled_span_ns);
+      failed = true;
+    }
+  }
+  table.Print("tracing overhead (" + std::to_string(kSeries) + " x " +
+              std::to_string(kLength) + ", " + std::to_string(kQueries) +
+              " queries, k=" + std::to_string(kK) + ", best of " +
+              std::to_string(kRepeats) + ")");
+
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("trace_overhead");
+  json.Key("dataset_series");
+  json.Uint(kSeries);
+  json.Key("series_length");
+  json.Uint(kLength);
+  json.Key("queries");
+  json.Uint(kQueries);
+  json.Key("disabled_span_ns");
+  json.Double(disabled_span_ns);
+  json.Key("budget_enabled_pct");
+  json.Double(15.0);
+  json.Key("budget_disabled_pct");
+  json.Double(5.0);
+  json.Key("methods");
+  json.BeginArray();
+  for (const MethodResult& r : results) {
+    json.BeginObject();
+    json.Key("method");
+    json.String(r.method);
+    json.Key("disabled_seconds");
+    json.Double(r.disabled_seconds);
+    json.Key("enabled_seconds");
+    json.Double(r.enabled_seconds);
+    json.Key("enabled_overhead_pct");
+    json.Double(r.enabled_overhead_pct);
+    json.Key("spans_per_query");
+    json.Double(r.spans_per_query);
+    json.Key("derived_disabled_overhead_pct");
+    json.Double(r.derived_disabled_overhead_pct);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  const util::Status written = json.WriteTo(json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace hydra
+
+int main(int argc, char** argv) { return hydra::Run(argc, argv); }

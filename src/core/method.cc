@@ -5,6 +5,7 @@
 
 #include "core/distance.h"
 #include "io/index_codec.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -156,6 +157,7 @@ util::Result<BuildStats> SearchMethod::Open(const std::string& dir,
 
 QueryResult SearchMethod::Execute(SeriesView query, const QuerySpec& spec) {
   CheckSpec(spec);
+  HYDRA_OBS_SPAN_ARG("execute", "k", spec.k);
   if (spec.kind == QueryKind::kRange) {
     RangePlan plan;
     plan.radius = spec.radius;

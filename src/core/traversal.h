@@ -35,6 +35,7 @@
 #include "core/knn.h"
 #include "core/query_spec.h"
 #include "core/search_stats.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace hydra::core {
@@ -73,6 +74,7 @@ void BestFirstTraverse(
     const std::function<void(const Item&, size_t,
                              const std::function<void(Item)>&)>& expand) {
   if (workers <= 1) {
+    HYDRA_OBS_SPAN_ARG("traversal", "worker", 0);
     std::priority_queue<Item> queue;
     for (const Item& seed : seeds) queue.push(seed);
     const std::function<void(Item)> push = [&queue](Item item) {
@@ -98,6 +100,7 @@ void BestFirstTraverse(
   std::atomic<int64_t> outstanding{static_cast<int64_t>(seeds.size())};
 
   auto worker_loop = [&](size_t w) {
+    HYDRA_OBS_SPAN_ARG("traversal", "worker", w);
     const std::function<void(Item)> push = [&slots, &outstanding,
                                             w](Item item) {
       outstanding.fetch_add(1, std::memory_order_relaxed);
@@ -161,11 +164,13 @@ inline void ParallelScan(
   HYDRA_CHECK(block > 0);
   if (count == 0) return;
   if (workers <= 1) {
+    HYDRA_OBS_SPAN_ARG("scan", "worker", 0);
     scan(0, 0, count);
     return;
   }
   std::atomic<size_t> cursor{0};
   auto worker_loop = [&](size_t w) {
+    HYDRA_OBS_SPAN_ARG("scan", "worker", w);
     for (;;) {
       const size_t begin = cursor.fetch_add(block, std::memory_order_relaxed);
       if (begin >= count) return;

@@ -371,6 +371,7 @@ void DsTree::VisitLeaf(const Node& leaf, const core::QueryOrder& order,
                        const core::KnnPlan& plan, core::KnnHeap* heap,
                        core::SearchStats* stats) const {
   if (leaf.ids.empty()) return;
+  HYDRA_OBS_SPAN_ARG("leaf_verify", "series", leaf.ids.size());
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
   io::CountedStorage raw(data_);
@@ -505,6 +506,7 @@ core::RangeResult DsTree::DoSearchRange(core::SeriesView query,
         core::SearchStats& stats = workers.stats(w);
         ++stats.nodes_visited;
         if (item.node->is_leaf) {
+          HYDRA_OBS_SPAN_ARG("leaf_verify", "series", item.node->ids.size());
           io::ChargeLeafRead(item.node->ids.size(),
                              data_->length() * sizeof(core::Value), &stats);
           io::CountedStorage raw(data_);

@@ -78,6 +78,7 @@ void Isax2Plus::VisitLeaf(const IsaxTree::Node& leaf,
                           const core::KnnPlan& plan, core::KnnHeap* heap,
                           core::SearchStats* stats) const {
   if (leaf.ids.empty()) return;
+  HYDRA_OBS_SPAN_ARG("leaf_verify", "series", leaf.ids.size());
   io::ChargeLeafRead(leaf.ids.size(), data_->length() * sizeof(core::Value),
                      stats);
   io::CountedStorage raw(data_);
@@ -176,6 +177,7 @@ core::RangeResult Isax2Plus::DoSearchRange(core::SeriesView query,
       [&](size_t w) { return workers.collector(w).Bound(); },
       [&](IsaxTree::Node* leaf, size_t w) {
         if (leaf->ids.empty()) return;
+        HYDRA_OBS_SPAN_ARG("leaf_verify", "series", leaf->ids.size());
         core::RangeCollector& collector = workers.collector(w);
         core::SearchStats& stats = workers.stats(w);
         io::ChargeLeafRead(leaf->ids.size(),

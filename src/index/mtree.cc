@@ -345,6 +345,7 @@ core::KnnResult MTree::DoSearchKnn(core::SeriesView query,
             return;
           }
           ++leaves[w];
+          HYDRA_OBS_SPAN_ARG("leaf_verify", "series", node->entries.size());
           io::CountedStorage raw(data_);
           for (const auto& [id, dist_to_center] : node->entries) {
             // Triangle-inequality filter using the precomputed distance.
@@ -414,6 +415,8 @@ core::RangeResult MTree::DoSearchRange(core::SeriesView query,
         core::SearchStats& stats = workers.stats(w);
         ++stats.nodes_visited;
         if (item.node->is_leaf) {
+          HYDRA_OBS_SPAN_ARG("leaf_verify", "series",
+                             item.node->entries.size());
           io::CountedStorage raw(data_);
           for (const auto& [id, dist_to_center] : item.node->entries) {
             if (std::fabs(item.dist_center - dist_to_center) > radius) {

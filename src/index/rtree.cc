@@ -10,6 +10,7 @@
 #include "core/simd/kernels.h"
 #include "io/counted_storage.h"
 #include "io/index_codec.h"
+#include "obs/trace.h"
 #include "transform/paa.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -465,6 +466,7 @@ core::KnnResult RStarTree::DoSearchKnn(core::SeriesView query,
       ++leaves_visited;
       // One random access per leaf; surviving pointers fetch raw series.
       ++result.stats.random_seeks;
+      HYDRA_OBS_SPAN_ARG("leaf_verify", "series", item.node->entries.size());
       for (const Entry& e : item.node->entries) {
         const double lb = e.rect.MinDistSqTo(q);
         ++result.stats.lower_bound_computations;
@@ -510,6 +512,7 @@ core::RangeResult RStarTree::DoSearchRange(core::SeriesView query,
     ++result.stats.nodes_visited;
     if (node->is_leaf()) {
       ++result.stats.random_seeks;
+      HYDRA_OBS_SPAN_ARG("leaf_verify", "series", node->entries.size());
       for (const Entry& e : node->entries) {
         ++result.stats.lower_bound_computations;
         if (e.rect.MinDistSqTo(q) > collector.Bound()) continue;

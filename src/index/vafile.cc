@@ -6,6 +6,7 @@
 #include "core/distance.h"
 #include "io/counted_storage.h"
 #include "io/index_codec.h"
+#include "obs/trace.h"
 #include "transform/dft.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -192,6 +193,10 @@ core::KnnResult VaFile::DoSearchKnn(core::SeriesView query,
                             plan.shared_bound != nullptr;
   heap.Reset(plan.k);
   heap.ShareBound(plan.shared_bound);  // Reset detached the phase-1 bound
+  // VA+file's leaf-verification analog: the skip-sequential refinement
+  // sweep. Scope-bound to the function; the tail extract is trivial.
+  obs::ObsSpan refine_span("leaf_verify", "series",
+                           static_cast<int64_t>(count));
   for (size_t i = 0; i < count; ++i) {
     bound = std::min(bound, heap.Bound());
     if (shrunken && heap.size() >= plan.k) {
@@ -231,6 +236,8 @@ core::RangeResult VaFile::DoSearchRange(core::SeriesView query,
 
   // One pass over the memory-resident approximation file, skip-sequential
   // refinement of the survivors against the raw file.
+  obs::ObsSpan refine_span("leaf_verify", "series",
+                           static_cast<int64_t>(count));
   for (size_t i = 0; i < count; ++i) {
     const std::span<const uint16_t> cell(cells_.data() + i * dims, dims);
     ++result.stats.lower_bound_computations;

@@ -1,0 +1,33 @@
+// Implementation of the serve flight recorder (top-N slow-query log).
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hydra::obs {
+
+FlightRecorder::FlightRecorder(size_t keep) : keep_(std::max<size_t>(1, keep)) {
+  records_.reserve(keep_);
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() == keep_ &&
+      record.total_seconds <= records_.back().total_seconds) {
+    return;  // faster than every retained record
+  }
+  // Insert in descending latency order, then trim.
+  auto pos = std::upper_bound(records_.begin(), records_.end(), record,
+                              [](const FlightRecord& a, const FlightRecord& b) {
+                                return a.total_seconds > b.total_seconds;
+                              });
+  records_.insert(pos, std::move(record));
+  if (records_.size() > keep_) records_.pop_back();
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace hydra::obs

@@ -1,0 +1,200 @@
+// Implementation of the metrics registry: histogram bucket math, the
+// text dump, and the JSON section shared with the serve STATS document.
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace hydra::obs {
+
+double Histogram::BucketBound(size_t index) {
+  // bound(i) = kFirstBound * 2^(i/4); exp2 keeps the grid exact enough
+  // that BucketIndex(BucketBound(i)) == i (verified by unit test).
+  return kFirstBound * std::exp2(static_cast<double>(index) / 4.0);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > kFirstBound)) return 0;  // also catches NaN and negatives
+  // Smallest i with bound(i) >= value: i = ceil(4 * log2(value / first)).
+  const double exact = 4.0 * std::log2(value / kFirstBound);
+  double index = std::ceil(exact);
+  // log2 rounding can land exactly on a boundary and tip it up one
+  // bucket; nudge values within one ulp-scale epsilon back down.
+  if (index - exact > 1.0 - 1e-9 &&
+      BucketBound(static_cast<size_t>(index) - 1) >= value) {
+    index -= 1.0;
+  }
+  if (index >= static_cast<double>(kBuckets)) return kBuckets - 1;
+  return static_cast<size_t>(index);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil so q=0.5 over 2
+  // samples picks the first.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= rank) return BucketBound(i);
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;                            // pointers outlive main
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HYDRA_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric name registered as a different kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HYDRA_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric name registered as a different kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HYDRA_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                  "metric name registered as a different kind");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::TextDump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << "counter " << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge " << name << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "histogram " << name << " count=" << histogram->count()
+        << " sum=" << histogram->sum()
+        << " p50=" << histogram->Quantile(0.50)
+        << " p95=" << histogram->Quantile(0.95)
+        << " p99=" << histogram->Quantile(0.99) << "\n";
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t count = histogram->bucket_count(i);
+      if (count == 0) continue;
+      out << "  le " << Histogram::BucketBound(i) << " : " << count << "\n";
+    }
+  }
+  return out.str();
+}
+
+void Registry::AppendJson(util::JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json->BeginObject();
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json->Key(name);
+    json->Int(counter->value());
+  }
+  json->EndObject();
+  json->Key("gauges");
+  json->BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json->Key(name);
+    json->Double(gauge->value());
+  }
+  json->EndObject();
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json->Key(name);
+    json->BeginObject();
+    json->Key("count");
+    json->Uint(histogram->count());
+    json->Key("sum");
+    json->Double(histogram->sum());
+    json->Key("p50");
+    json->Double(histogram->Quantile(0.50));
+    json->Key("p95");
+    json->Double(histogram->Quantile(0.95));
+    json->Key("p99");
+    json->Double(histogram->Quantile(0.99));
+    // Sparse buckets: parallel arrays of non-empty upper bounds + counts.
+    json->Key("bucket_bounds");
+    json->BeginArray();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram->bucket_count(i) == 0) continue;
+      json->Double(Histogram::BucketBound(i));
+    }
+    json->EndArray();
+    json->Key("bucket_counts");
+    json->BeginArray();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t count = histogram->bucket_count(i);
+      if (count == 0) continue;
+      json->Uint(count);
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void PublishSearchStats(const core::SearchStats& stats,
+                        const std::string& prefix) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter(prefix + ".queries")->Add(1);
+  registry.GetCounter(prefix + ".distance_computations")
+      ->Add(stats.distance_computations);
+  registry.GetCounter(prefix + ".raw_series_examined")
+      ->Add(stats.raw_series_examined);
+  registry.GetCounter(prefix + ".lower_bound_computations")
+      ->Add(stats.lower_bound_computations);
+  registry.GetCounter(prefix + ".nodes_visited")->Add(stats.nodes_visited);
+  registry.GetCounter(prefix + ".sequential_reads")
+      ->Add(stats.sequential_reads);
+  registry.GetCounter(prefix + ".random_seeks")->Add(stats.random_seeks);
+  registry.GetCounter(prefix + ".bytes_read")->Add(stats.bytes_read);
+  registry.GetCounter(prefix + ".pool_hits")->Add(stats.pool_hits);
+  registry.GetCounter(prefix + ".pool_misses")->Add(stats.pool_misses);
+  registry.GetCounter(prefix + ".pool_evictions")->Add(stats.pool_evictions);
+  registry.GetCounter(prefix + ".pool_pread_calls")
+      ->Add(stats.pool_pread_calls);
+  registry.GetCounter(prefix + ".pool_bytes_read")
+      ->Add(stats.pool_bytes_read);
+  registry.GetHistogram(prefix + ".cpu_seconds")->Observe(stats.cpu_seconds);
+}
+
+}  // namespace hydra::obs

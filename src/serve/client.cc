@@ -143,4 +143,12 @@ util::Status Client::Stats(std::string* json) {
   return DecodeStatsResponse(response.payload, json);
 }
 
+util::Status Client::StatsFull(std::string* text) {
+  Frame response;
+  const util::Status s = RoundTrip(Frame{FrameType::kStatsFull, ""},
+                                   FrameType::kStatsReply, &response, nullptr);
+  if (!s.ok()) return s;
+  return DecodeStatsResponse(response.payload, text);
+}
+
 }  // namespace hydra::serve

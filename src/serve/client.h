@@ -46,6 +46,10 @@ class Client {
   /// Fetches the daemon's STATS document (JSON).
   util::Status Stats(std::string* json);
 
+  /// Fetches the daemon's full metrics-registry dump (plain text, one
+  /// metric per line — the `hydra stats --full` document).
+  util::Status StatsFull(std::string* text);
+
  private:
   util::Status SendFrame(const Frame& frame);
   util::Status ReceiveFrame(Frame* frame);

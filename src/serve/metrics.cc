@@ -4,41 +4,42 @@
 #include <algorithm>
 
 #include "util/json.h"
-#include "util/stats.h"
 
 namespace hydra::serve {
 
-ServerMetrics::ServerMetrics(size_t ring_capacity)
-    : ring_capacity_(std::max<size_t>(1, ring_capacity)) {
-  ring_.reserve(ring_capacity_);
-}
+ServerMetrics::ServerMetrics() = default;
 
 void ServerMetrics::RecordQuery(double latency_seconds,
                                 const core::SearchStats& stats,
                                 bool cache_hit) {
+  latency_.Observe(latency_seconds);
+  // Mirror into the process-wide registry so `hydra stats --full` (and
+  // the STATS "metrics" section) report serve latency alongside every
+  // other registered metric.
+  obs::Registry::Get()
+      .GetHistogram("serve.latency_seconds")
+      ->Observe(latency_seconds);
+  obs::PublishSearchStats(stats, "serve");
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;
   if (cache_hit) ++cache_hits_;
   merged_.Add(stats);
-  if (ring_.size() < ring_capacity_) {
-    ring_.push_back(latency_seconds);
-  } else {
-    ring_[ring_next_] = latency_seconds;
-  }
-  ring_next_ = (ring_next_ + 1) % ring_capacity_;
 }
 
 void ServerMetrics::RecordRejected() {
+  obs::Registry::Get().GetCounter("serve.rejected")->Add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++rejected_;
 }
 
 void ServerMetrics::RecordBadQuery() {
+  obs::Registry::Get().GetCounter("serve.bad_queries")->Add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++bad_queries_;
 }
 
 void ServerMetrics::RecordMalformed() {
+  obs::Registry::Get().GetCounter("serve.malformed")->Add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++malformed_;
 }
@@ -67,18 +68,26 @@ ServerMetrics::Snapshot ServerMetrics::snapshot() const {
   if (s.uptime_seconds > 0.0) {
     s.qps = static_cast<double>(completed_) / s.uptime_seconds;
   }
-  const util::Percentiles tail = util::TailPercentiles(ring_);
-  s.p50_ms = tail.p50 * 1e3;
-  s.p95_ms = tail.p95 * 1e3;
-  s.p99_ms = tail.p99 * 1e3;
-  s.latency_samples = ring_.size();
+  s.latency_samples = latency_.count();
+  if (s.latency_samples > 0) {
+    s.p50_ms = latency_.Quantile(0.50) * 1e3;
+    s.p95_ms = latency_.Quantile(0.95) * 1e3;
+    s.p99_ms = latency_.Quantile(0.99) * 1e3;
+  }
+  for (size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    const uint64_t count = latency_.bucket_count(i);
+    if (count == 0) continue;
+    s.bucket_bounds.push_back(obs::Histogram::BucketBound(i));
+    s.bucket_counts.push_back(count);
+  }
   s.merged = merged_;
   return s;
 }
 
 std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
                       const AnswerCache::Counters& cache,
-                      std::string_view method_name) {
+                      std::string_view method_name,
+                      const std::vector<obs::FlightRecord>& slow_queries) {
   util::JsonWriter json;
   json.BeginObject();
   json.Key("uptime_seconds");
@@ -112,6 +121,19 @@ std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
   json.Double(snapshot.p99_ms);
   json.Key("samples");
   json.Uint(snapshot.latency_samples);
+  // Percentiles are bucketed: each is its bucket's upper bound, so it
+  // never underestimates and overestimates by at most this relative
+  // factor (the histogram's bucket growth ratio, 2^(1/4) - 1).
+  json.Key("quantile_error_bound");
+  json.Double(0.189207);
+  json.Key("bucket_bounds_seconds");
+  json.BeginArray();
+  for (const double bound : snapshot.bucket_bounds) json.Double(bound);
+  json.EndArray();
+  json.Key("bucket_counts");
+  json.BeginArray();
+  for (const uint64_t count : snapshot.bucket_counts) json.Uint(count);
+  json.EndArray();
   json.EndObject();
 
   json.Key("cache");
@@ -175,6 +197,35 @@ std::string StatsJson(const ServerMetrics::Snapshot& snapshot,
   json.Double(snapshot.merged.cpu_seconds);
   json.EndObject();
   json.EndObject();
+
+  // Flight recorder: the slowest requests the daemon has answered, with
+  // their per-phase wall-time breakdown.
+  json.Key("slow_queries");
+  json.BeginArray();
+  for (const obs::FlightRecord& record : slow_queries) {
+    json.BeginObject();
+    json.Key("request_id");
+    json.Uint(record.request_id);
+    json.Key("query");
+    json.String(record.label);
+    json.Key("total_ms");
+    json.Double(record.total_seconds * 1e3);
+    json.Key("cache_hit");
+    json.Bool(record.cache_hit);
+    json.Key("phases");
+    json.BeginObject();
+    for (const obs::FlightPhase& phase : record.phases) {
+      json.Key(phase.name);
+      json.Double(phase.seconds * 1e3);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  // The process-wide metrics registry (counters/gauges/histograms).
+  json.Key("metrics");
+  obs::Registry::Get().AppendJson(&json);
 
   json.EndObject();
   return json.str();

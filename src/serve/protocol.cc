@@ -133,7 +133,7 @@ constexpr size_t kTrailerBytes = 4;             // payload CRC
 
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kPing) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kStatsFull);
 }
 
 /// Encodes the stats ledger fields shared by every answer.
@@ -278,6 +278,7 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   w.F64(request.spec.delta);
   w.I64(request.spec.max_visited_leaves);
   w.I64(request.spec.max_raw_series);
+  w.U64(request.request_id);
   w.U32(static_cast<uint32_t>(request.query.size()));
   for (const core::Value v : request.query) w.F32(v);
   return w.Take();
@@ -304,6 +305,7 @@ util::Status DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
   out->spec.max_visited_leaves = r.I64();
   out->spec.max_raw_series = r.I64();
   out->spec.query_threads = 1;  // traversal width is server policy
+  out->request_id = r.U64();
   const uint32_t n = r.U32();
   if (n * sizeof(core::Value) > r.Remaining()) {
     r.Fail("query vector length exceeds payload");

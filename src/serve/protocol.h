@@ -37,7 +37,10 @@ namespace hydra::serve {
 
 /// Protocol version; bumped on any incompatible frame or payload change.
 /// A peer speaking another version gets a kUnsupportedVersion error frame.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: QueryRequest carries a client request id (trace-context
+/// propagation into the daemon's flight recorder and spans), and the
+/// kStatsFull request returns the metrics-registry text dump.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Frame magic: "HYSv" as little-endian bytes.
 inline constexpr uint32_t kFrameMagic = 0x76535948;
@@ -47,8 +50,10 @@ inline constexpr uint32_t kFrameMagic = 0x76535948;
 /// allocation-of-terabytes. Enforced by encoder and decoder alike.
 inline constexpr size_t kMaxFramePayload = size_t{1} << 24;
 
-/// Frame kinds. Requests (client -> server): kPing, kQuery, kStats.
-/// Responses (server -> client): kPong, kAnswer, kStatsReply, kError.
+/// Frame kinds. Requests (client -> server): kPing, kQuery, kStats,
+/// kStatsFull. Responses (server -> client): kPong, kAnswer, kStatsReply,
+/// kError. kStatsFull answers with a kStatsReply whose document is the
+/// metrics registry's plain-text dump (`hydra stats --full`), not JSON.
 enum class FrameType : uint8_t {
   kPing = 1,
   kQuery = 2,
@@ -57,6 +62,7 @@ enum class FrameType : uint8_t {
   kAnswer = 5,
   kStatsReply = 6,
   kError = 7,
+  kStatsFull = 8,
 };
 
 /// Error classes a server can answer with (the payload of a kError frame).
@@ -130,10 +136,14 @@ class FrameDecoder {
 };
 
 /// A query request: the full QuerySpec (minus query_threads — traversal
-/// width is server policy, not client input) plus the query vector.
+/// width is server policy, not client input) plus the query vector and a
+/// client-chosen request id, echoed through the daemon's flight recorder
+/// and trace spans so a slow query in STATS can be matched to the client
+/// call that issued it (0 = unidentified).
 struct QueryRequest {
   core::QuerySpec spec;
   std::vector<core::Value> query;
+  uint64_t request_id = 0;
 };
 
 /// A query answer: the QueryResult (neighbors + stats digest, which carries

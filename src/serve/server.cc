@@ -9,9 +9,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace hydra::serve {
 namespace {
@@ -29,6 +33,34 @@ bool WriteAll(int fd, const char* bytes, size_t n) {
     sent += static_cast<size_t>(w);
   }
   return true;
+}
+
+// Short human-readable request label for the slow-query log: enough to
+// recognize the query shape ("knn k=10 exact", "range r=2.5") without
+// echoing the vector itself.
+std::string RequestLabel(const QueryRequest& request) {
+  const core::QuerySpec& spec = request.spec;
+  if (spec.kind == core::QueryKind::kRange) {
+    return "range r=" + std::to_string(spec.radius);
+  }
+  std::string label = "knn k=" + std::to_string(spec.k);
+  switch (spec.mode) {
+    case core::QualityMode::kExact:
+      label += " exact";
+      break;
+    case core::QualityMode::kNgApprox:
+      label += " ng";
+      break;
+    case core::QualityMode::kEpsilon:
+      label += " eps=" + std::to_string(spec.epsilon);
+      break;
+    case core::QualityMode::kDeltaEpsilon:
+      label += " eps=" + std::to_string(spec.epsilon) +
+               " delta=" + std::to_string(spec.delta);
+      break;
+  }
+  if (spec.has_budget()) label += " budgeted";
+  return label;
 }
 
 }  // namespace
@@ -140,7 +172,7 @@ void Server::Shutdown() {
 
 std::string Server::StatsJson() const {
   return serve::StatsJson(metrics_.snapshot(), cache_.counters(),
-                          method_name_);
+                          method_name_, recorder_.Snapshot());
 }
 
 void Server::AcceptLoop() {
@@ -218,6 +250,14 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       SendFrame(conn,
                 Frame{FrameType::kStatsReply, EncodeStatsResponse(StatsJson())});
       return true;
+    case FrameType::kStatsFull:
+      // The full process-wide metrics registry as plain text (`hydra
+      // stats --full`), alongside — not replacing — the JSON kStats.
+      metrics_.RecordStatsRequest();
+      SendFrame(conn, Frame{FrameType::kStatsReply,
+                            EncodeStatsResponse(
+                                obs::Registry::Get().TextDump())});
+      return true;
     case FrameType::kQuery:
       HandleQuery(conn, frame);
       return true;
@@ -233,6 +273,9 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
 
 void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
                          const Frame& frame) {
+  // Phase clock for the flight record: decode + validate + admission run
+  // on the reader thread, before the worker takes over.
+  util::WallTimer decode_timer;
   QueryRequest request;
   const util::Status decoded = DecodeQueryRequest(frame.payload, &request);
   if (!decoded.ok()) {
@@ -268,8 +311,10 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
     ++inflight_;
   }
   const double admitted_at = clock_.Seconds();
-  pool_->Submit([this, conn, request = std::move(request), admitted_at] {
-    ExecuteQuery(conn, request, admitted_at);
+  const double decode_seconds = decode_timer.Seconds();
+  pool_->Submit([this, conn, request = std::move(request), admitted_at,
+                 decode_seconds] {
+    ExecuteQuery(conn, request, admitted_at, decode_seconds);
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     --inflight_;
     inflight_cv_.notify_all();
@@ -277,16 +322,25 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::ExecuteQuery(const std::shared_ptr<Connection>& conn,
-                          const QueryRequest& request, double admitted_at) {
+                          const QueryRequest& request, double admitted_at,
+                          double decode_seconds) {
+  // Trace span + flight record for this request; the client's request id
+  // ties both back to the call that issued it.
+  HYDRA_OBS_SPAN_ARG("serve_request", "request_id",
+                     static_cast<int64_t>(request.request_id));
+  const double queue_wait = clock_.Seconds() - admitted_at;
   if (options_.execute_hook) options_.execute_hook();
   const bool cacheable = AnswerCache::Cacheable(request.spec);
   std::string key;
   AnswerResponse response;
   bool hit = false;
+  util::WallTimer phase_timer;
   if (cacheable) {
     key = AnswerCache::Key(fingerprint_, request.spec, request.query);
     hit = cache_.Lookup(key, &response.result);
   }
+  const double cache_lookup = phase_timer.Seconds();
+  phase_timer.Reset();
   if (!hit) {
     // Snapshot the shared_ptr so a concurrent Reload cannot free the
     // index under this query.
@@ -303,11 +357,24 @@ void Server::ExecuteQuery(const std::shared_ptr<Connection>& conn,
     }
     if (cacheable) cache_.Insert(key, response.result);
   }
+  const double execute = phase_timer.Seconds();
+  phase_timer.Reset();
   response.cached = hit;
   SendFrame(conn,
             Frame{FrameType::kAnswer, EncodeAnswerResponse(response)});
-  metrics_.RecordQuery(clock_.Seconds() - admitted_at, response.result.stats,
-                       hit);
+  const double encode_write = phase_timer.Seconds();
+  const double latency = clock_.Seconds() - admitted_at;
+  metrics_.RecordQuery(latency, response.result.stats, hit);
+  recorder_.Record(obs::FlightRecord{
+      request.request_id,
+      RequestLabel(request),
+      decode_seconds + latency,
+      hit,
+      {{"decode", decode_seconds},
+       {"queue_wait", queue_wait},
+       {"cache_lookup", cache_lookup},
+       {"execute", execute},
+       {"encode_write", encode_write}}});
 }
 
 void Server::SendFrame(const std::shared_ptr<Connection>& conn,

@@ -30,6 +30,7 @@
 #include "core/dataset.h"
 #include "core/method.h"
 #include "io/index_codec.h"
+#include "obs/flight_recorder.h"
 #include "serve/answer_cache.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
@@ -116,8 +117,11 @@ class Server {
   void HandleQuery(const std::shared_ptr<Connection>& conn,
                    const Frame& frame);
   /// Runs one admitted query on a pool worker and answers it.
+  /// `decode_seconds` is the reader-side decode+validate wall time, folded
+  /// into the request's flight record as its first phase.
   void ExecuteQuery(const std::shared_ptr<Connection>& conn,
-                    const QueryRequest& request, double admitted_at);
+                    const QueryRequest& request, double admitted_at,
+                    double decode_seconds);
   void SendFrame(const std::shared_ptr<Connection>& conn, const Frame& frame);
   void SendError(const std::shared_ptr<Connection>& conn, ErrorCode code,
                  const std::string& message);
@@ -125,6 +129,9 @@ class Server {
   const ServerOptions options_;
   AnswerCache cache_;
   ServerMetrics metrics_;
+  /// Slow-query log: phase-timed records of the slowest requests answered,
+  /// surfaced in the STATS reply ("slow_queries").
+  obs::FlightRecorder recorder_;
 
   const core::Dataset* data_ = nullptr;
   io::DatasetFingerprint fingerprint_;

@@ -7,6 +7,7 @@
 
 #include "core/knn.h"
 #include "io/index_codec.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -283,6 +284,7 @@ core::KnnResult ShardedIndex::DoSearchKnn(core::SeriesView query,
   core::SharedBound shared;
   std::vector<core::KnnResult> parts(shards_.size());
   ForEachShard([&](size_t i) {
+    HYDRA_OBS_SPAN_ARG("shard_search", "shard", i);
     core::KnnPlan local = plan;
     local.shared_bound = &shared;
     local.max_leaves = SplitBudget(plan.max_leaves, i);
@@ -291,6 +293,7 @@ core::KnnResult ShardedIndex::DoSearchKnn(core::SeriesView query,
   });
   // Merge (timed as the composite's own CPU work): keep the k best
   // overall of the per-shard top-k sets.
+  HYDRA_OBS_SPAN_ARG("shard_merge", "shards", shards_.size());
   util::WallTimer merge_timer;
   core::KnnResult result;
   result.neighbors =
@@ -307,8 +310,10 @@ core::KnnResult ShardedIndex::DoSearchKnnNg(core::SeriesView query,
                                             size_t k) {
   std::vector<core::KnnResult> parts(shards_.size());
   ForEachShard([&](size_t i) {
+    HYDRA_OBS_SPAN_ARG("shard_search", "shard", i);
     parts[i] = ComponentSearchKnnNg(shards_[i].get(), query, k);
   });
+  HYDRA_OBS_SPAN_ARG("shard_merge", "shards", shards_.size());
   util::WallTimer merge_timer;
   core::KnnResult result;
   result.neighbors =
@@ -325,8 +330,10 @@ core::RangeResult ShardedIndex::DoSearchRange(core::SeriesView query,
                                               const core::RangePlan& plan) {
   std::vector<core::RangeResult> parts(shards_.size());
   ForEachShard([&](size_t i) {
+    HYDRA_OBS_SPAN_ARG("shard_search", "shard", i);
     parts[i] = ComponentSearchRange(shards_[i].get(), query, plan);
   });
+  HYDRA_OBS_SPAN_ARG("shard_merge", "shards", shards_.size());
   util::WallTimer merge_timer;
   core::RangeResult result;
   result.matches =

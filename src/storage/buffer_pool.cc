@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -68,6 +69,7 @@ core::SeriesView BufferPool::ReadPinned(size_t index, Pin* pin,
       if (frame.loading) {
         // Another reader's pread is in flight for this page; wait for it
         // rather than fetching twice.
+        HYDRA_OBS_SPAN_ARG("pool_wait", "page", page);
         cv_.wait(lock);
         continue;
       }
@@ -114,7 +116,11 @@ core::SeriesView BufferPool::ReadPinned(size_t index, Pin* pin,
     lock.unlock();
     const size_t first = static_cast<size_t>(page) * per_page_;
     const size_t n = std::min(per_page_, file_->count() - first);
-    const util::Status read = file_->ReadSeries(first, n, frame.values.data());
+    util::Status read;
+    {
+      HYDRA_OBS_SPAN_ARG("pool_miss_pread", "page", page);
+      read = file_->ReadSeries(first, n, frame.values.data());
+    }
     lock.lock();
     frame.loading = false;
     if (!read.ok()) {

@@ -176,6 +176,7 @@ TEST(ServeProtocolTest, QueryRequestRoundTrip) {
   sent.spec = core::QuerySpec::DeltaEpsilon(7, 0.25, 0.5);
   sent.spec.max_raw_series = 123;
   sent.query = {0.5f, -1.5f, 2.0f};
+  sent.request_id = 0xFEEDBEEFu;
 
   QueryRequest received;
   ASSERT_TRUE(
@@ -189,6 +190,8 @@ TEST(ServeProtocolTest, QueryRequestRoundTrip) {
   // Traversal width is server policy, never client input.
   EXPECT_EQ(received.spec.query_threads, 1u);
   EXPECT_EQ(received.query, sent.query);
+  // The trace-propagation id survives the wire (protocol v2).
+  EXPECT_EQ(received.request_id, 0xFEEDBEEFu);
 }
 
 TEST(ServeProtocolTest, QueryRequestGarbageRejected) {
@@ -207,9 +210,9 @@ TEST(ServeProtocolTest, QueryRequestGarbageRejected) {
   EXPECT_FALSE(DecodeQueryRequest(bad_mode, &out).ok());
   std::string lying_count = valid;
   // Vector count field: after kind(1)+k(8)+radius(8)+mode(1)+eps(8)+
-  // delta(8)+leaves(8)+raw(8) = offset 50; claim 200 floats with 8 bytes
-  // of data behind it.
-  lying_count[50] = static_cast<char>(200);
+  // delta(8)+leaves(8)+raw(8)+request_id(8) = offset 58; claim 200
+  // floats with 8 bytes of data behind it.
+  lying_count[58] = static_cast<char>(200);
   EXPECT_FALSE(DecodeQueryRequest(lying_count, &out).ok());
 }
 

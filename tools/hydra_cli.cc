@@ -28,9 +28,12 @@
 //       Send the same probe workload `hydra query` runs to a daemon and
 //       print the answers in the identical format (the smoke script
 //       diffs the two). The data file is read only to derive the probes.
-//   hydra stats [--port P]
+//   hydra stats [--port P] [--full]
 //       Fetch and print the daemon's STATS document (JSON: uptime, QPS,
-//       latency percentiles, cache counters, merged search ledger).
+//       bucketed latency percentiles, cache counters, merged search
+//       ledger, slow-query flight records). --full instead prints the
+//       daemon's whole metrics registry as plain text, one metric per
+//       line.
 //   hydra methods
 //       Print the method traits matrix (quality modes, concurrency,
 //       persistence).
@@ -68,6 +71,13 @@
 // order), which is reported as a note. Composes with --shards: every
 // shard's workers share one cross-shard bound.
 //
+// `build`, `query`, `range`, and `serve` accept --trace <path>: record
+// per-query phase spans (execute, traversal, leaf verification, shard
+// fan-out, buffer-pool IO; per-request spans under serve) and write them
+// as Chrome trace-event JSON when the command exits — open the file at
+// ui.perfetto.dev or chrome://tracing. An unwritable path exits 1 before
+// any work is done.
+//
 // `query` additionally accepts the QuerySpec flags:
 //   --mode exact|ng|epsilon|delta-epsilon   quality guarantee requested
 //   --epsilon X      relative error bound (epsilon / delta-epsilon modes)
@@ -86,6 +96,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
@@ -102,6 +113,8 @@
 #include "gen/workload.h"
 #include "io/disk_model.h"
 #include "io/series_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "shard/sharded_index.h"
@@ -137,7 +150,7 @@ int Usage() {
                "  hydra ping [--port P]\n"
                "  hydra queryd <data.bin> <k> [queries=10] [--port P] "
                "[spec flags]\n"
-               "  hydra stats [--port P]\n"
+               "  hydra stats [--port P] [--full]\n"
                "  hydra methods\n"
                "  hydra kernels [names]\n"
                "\n"
@@ -175,7 +188,19 @@ int Usage() {
                "default 64) with measured hit/miss counters. Answers are "
                "bit-identical\n"
                "across backends and compose with --shards and "
-               "--query-threads.\n");
+               "--query-threads.\n"
+               "\n"
+               "--trace <path> (build/query/range/serve) records per-query "
+               "phase spans\n"
+               "(execute, traversal, leaf verification, shard fan-out, "
+               "buffer-pool IO;\n"
+               "per-request spans under serve) and writes Chrome "
+               "trace-event JSON on\n"
+               "exit; open it at ui.perfetto.dev or chrome://tracing. "
+               "`stats --full`\n"
+               "prints a running daemon's whole metrics registry "
+               "(counters, gauges,\n"
+               "latency histograms) as text, one metric per line.\n");
   return 2;
 }
 
@@ -255,6 +280,17 @@ bool ExtractOption(std::vector<char*>* args, const char* flag,
     return true;
   }
   return true;
+}
+
+/// Extracts a valueless `--flag` (anywhere in argv) from `*args`; returns
+/// true when it was present.
+bool ExtractBareFlag(std::vector<char*>* args, const char* flag) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if (std::string((*args)[i]) != flag) continue;
+    args->erase(args->begin() + static_cast<long>(i));
+    return true;
+  }
+  return false;
 }
 
 /// The QuerySpec-shaping flags of `hydra query`, as extracted from argv.
@@ -870,17 +906,22 @@ int CmdPing(const ServeFlags& flags) {
   return 0;
 }
 
-int CmdStats(const ServeFlags& flags) {
+int CmdStats(const ServeFlags& flags, bool full) {
   serve::Client client;
   util::Status s =
       client.Connect("127.0.0.1", static_cast<uint16_t>(flags.port));
-  std::string json;
-  if (s.ok()) s = client.Stats(&json);
+  std::string doc;
+  if (s.ok()) s = full ? client.StatsFull(&doc) : client.Stats(&doc);
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.message().c_str());
     return 1;
   }
-  std::printf("%s\n", json.c_str());
+  if (full) {
+    // The registry dump already ends each line with '\n'.
+    std::fputs(doc.c_str(), stdout);
+  } else {
+    std::printf("%s\n", doc.c_str());
+  }
   return 0;
 }
 
@@ -928,6 +969,9 @@ int CmdQueryd(int argc, char** argv, const QueryFlags& flags,
   for (size_t q = 0; q < probe.queries.size(); ++q) {
     serve::QueryRequest request;
     request.spec = spec;
+    // Sequential request ids propagate into the daemon's flight recorder
+    // and trace spans: a slow query in its STATS names the client call.
+    request.request_id = static_cast<uint64_t>(q) + 1;
     request.query.assign(probe.queries[q].begin(), probe.queries[q].end());
     serve::AnswerResponse answer;
     const util::Status s = client.Query(request, &answer);
@@ -1064,6 +1108,7 @@ int CmdQuery(int argc, char** argv, uint64_t threads, uint64_t shards,
     }
   }
   PrintStorageSummary(stored, batch.total);
+  obs::PublishSearchStats(batch.total, "query");
   return 0;
 }
 
@@ -1111,6 +1156,7 @@ int CmdRange(int argc, char** argv, uint64_t threads, uint64_t shards,
                 static_cast<long long>(r.stats.raw_series_examined));
   }
   PrintStorageSummary(stored, total);
+  obs::PublishSearchStats(total, "range");
   return 0;
 }
 
@@ -1274,6 +1320,9 @@ int Main(int argc, char** argv) {
   if (!ExtractOption(&args, "--index", &index_dir)) return 1;
   const char* kernels = nullptr;
   if (!ExtractOption(&args, "--kernels", &kernels)) return 1;
+  const char* trace_path = nullptr;
+  if (!ExtractOption(&args, "--trace", &trace_path)) return 1;
+  const bool stats_full = ExtractBareFlag(&args, "--full");
   ServeFlags serve_flags;
   if (!ExtractServeFlags(&args, &serve_flags)) return 1;
   StorageFlags storage_flags;
@@ -1351,6 +1400,31 @@ int Main(int argc, char** argv) {
                          "'range', and 'serve'\n");
     return 1;
   }
+  // Tracing records per-query spans, which only the index-touching
+  // commands emit; swallowing --trace elsewhere would write an empty
+  // trace and let users believe e.g. a ping was profiled.
+  if (trace_path != nullptr && cmd != "build" && cmd != "query" &&
+      cmd != "range" && cmd != "serve") {
+    std::fprintf(stderr, "error: --trace is only supported by 'build', "
+                         "'query', 'range', and 'serve'\n");
+    return 1;
+  }
+  if (stats_full && cmd != "stats") {
+    std::fprintf(stderr, "error: --full is only supported by 'stats'\n");
+    return 1;
+  }
+  if (trace_path != nullptr) {
+    // Fail before the work, not after: an unwritable trace path must not
+    // cost a full build or query batch first.
+    std::ofstream probe(trace_path, std::ios::binary | std::ios::trunc);
+    if (!probe) {
+      std::fprintf(stderr,
+                   "error: cannot open trace path for writing: %s\n",
+                   trace_path);
+      return 1;
+    }
+    obs::Tracer::Get().Enable();
+  }
   // An unusable HYDRA_KERNELS must exit cleanly for every command — the
   // library would otherwise abort at first dispatch resolution.
   if (!CheckKernelEnv()) return 1;
@@ -1370,29 +1444,44 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
-  if (cmd == "gen") return CmdGen(n, args.data());
-  if (cmd == "build") {
-    return CmdBuild(n, args.data(), threads, shards, storage_flags);
+  const int rc = [&]() -> int {
+    if (cmd == "gen") return CmdGen(n, args.data());
+    if (cmd == "build") {
+      return CmdBuild(n, args.data(), threads, shards, storage_flags);
+    }
+    if (cmd == "query") {
+      return CmdQuery(n, args.data(), threads, shards, query_threads, flags,
+                      index_dir, storage_flags);
+    }
+    if (cmd == "range") {
+      return CmdRange(n, args.data(), threads, shards, query_threads,
+                      index_dir, storage_flags);
+    }
+    if (cmd == "compare") return CmdCompare(n, args.data(), threads);
+    if (cmd == "serve") {
+      return CmdServe(n, args.data(), threads, shards, index_dir,
+                      serve_flags, storage_flags);
+    }
+    if (cmd == "ping") return CmdPing(serve_flags);
+    if (cmd == "queryd") return CmdQueryd(n, args.data(), flags, serve_flags);
+    if (cmd == "stats") return CmdStats(serve_flags, stats_full);
+    if (cmd == "methods") return CmdMethods();
+    if (cmd == "kernels") return CmdKernels(n, args.data());
+    return Usage();
+  }();
+  if (trace_path != nullptr) {
+    obs::Tracer& tracer = obs::Tracer::Get();
+    tracer.SetMeta("command", cmd);
+    if (n > 3) tracer.SetMeta("method", args[3]);
+    tracer.SetMeta("kernels", core::simd::ActiveKernels().name);
+    const util::Status written = tracer.WriteJson(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.message().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_path);
   }
-  if (cmd == "query") {
-    return CmdQuery(n, args.data(), threads, shards, query_threads, flags,
-                    index_dir, storage_flags);
-  }
-  if (cmd == "range") {
-    return CmdRange(n, args.data(), threads, shards, query_threads,
-                    index_dir, storage_flags);
-  }
-  if (cmd == "compare") return CmdCompare(n, args.data(), threads);
-  if (cmd == "serve") {
-    return CmdServe(n, args.data(), threads, shards, index_dir, serve_flags,
-                    storage_flags);
-  }
-  if (cmd == "ping") return CmdPing(serve_flags);
-  if (cmd == "queryd") return CmdQueryd(n, args.data(), flags, serve_flags);
-  if (cmd == "stats") return CmdStats(serve_flags);
-  if (cmd == "methods") return CmdMethods();
-  if (cmd == "kernels") return CmdKernels(n, args.data());
-  return Usage();
+  return rc;
 }
 
 }  // namespace
